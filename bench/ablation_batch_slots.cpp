@@ -1,0 +1,68 @@
+//===- bench/ablation_batch_slots.cpp - Hyaline design-knob ablation ------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation over Hyaline's two structural parameters:
+///  - the number of slots k (Theorem 3: reclamation cost O(n/k); fewer
+///    slots mean more contention on each Head and more cross-thread
+///    counter traffic);
+///  - the minimum batch size (paper Section 3.2: batch size amortizes the
+///    cost of inserting into k lists the way epoch frequency amortizes
+///    counter increments — bigger batches cost memory, smaller ones cost
+///    retire throughput).
+///
+/// Workload: the Michael hash map under the write-heavy mix (the paper's
+/// reclamation stress) at a fixed thread count. Output: one CSV row per
+/// (k, batch) with throughput and the Figure 12 memory metric.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/registry.h"
+#include "support/cli.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace lfsmr;
+using namespace lfsmr::harness;
+
+int main(int argc, char **argv) {
+  const CommandLine Cmd(argc, argv);
+  const bool Full = Cmd.has("full");
+  const unsigned HW = std::thread::hardware_concurrency();
+  const unsigned Threads =
+      static_cast<unsigned>(Cmd.getInt("threadcount", HW ? HW : 8));
+  const double Secs = Cmd.getDouble("secs", Full ? 5.0 : 0.25);
+
+  const std::vector<int64_t> Slots =
+      Cmd.getIntList("slots", {1, 4, 16, 64, 256});
+  const std::vector<int64_t> Batches =
+      Cmd.getIntList("batches", {16, 64, 256, 1024});
+
+  std::printf("# ablation=hyaline_batch_slots structure=hashmap mix=write "
+              "threads=%u\n", Threads);
+  std::printf("scheme,slots,min_batch,threads,mops,avg_unreclaimed\n");
+  for (const char *Scheme : {"hyaline", "hyalines"}) {
+    for (int64_t K : Slots) {
+      for (int64_t B : Batches) {
+        RunSpec Spec;
+        Spec.Scheme = Scheme;
+        Spec.Ds = "hashmap";
+        Spec.Mix = WriteMix;
+        Spec.Threads = Threads;
+        Spec.Params.DurationSec = Secs;
+        Spec.Cfg.Slots = static_cast<unsigned>(K);
+        Spec.Cfg.MinBatch = static_cast<unsigned>(B);
+        const RunResult R = runOne(Spec);
+        std::printf("%s,%lld,%lld,%u,%.4f,%.1f\n", Scheme,
+                    static_cast<long long>(K), static_cast<long long>(B),
+                    Threads, R.Mops, R.AvgUnreclaimed);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

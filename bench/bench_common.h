@@ -1,0 +1,147 @@
+//===- bench/bench_common.h - Shared figure-bench driver ---------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common driver behind the per-figure benchmark binaries. Each
+/// binary names a data structure and the figure panels it regenerates;
+/// this driver sweeps (scheme x mix x thread count), prints CSV rows
+///
+///   panel,scheme,threads,mops,avg_unreclaimed,peak_unreclaimed,ops
+///
+/// and a per-panel human-readable summary. Two parameter sets:
+///  - default: CI-sized (short runs, coarse thread sweep);
+///  - --full:  paper-sized (10 s x 5 repeats, dense sweep; Section 6).
+/// Other flags: --threads 1,4,8  --secs 0.5  --repeats 2  --schemes a,b
+///             --keyrange N  --prefill N
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_BENCH_BENCH_COMMON_H
+#define LFSMR_BENCH_BENCH_COMMON_H
+
+#include "harness/registry.h"
+#include "support/cli.h"
+#include "support/stats.h"
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lfsmr::bench {
+
+/// One figure panel: a workload mix plus the paper's panel label.
+struct Panel {
+  const char *Label;            ///< e.g. "fig11a+12a"
+  harness::WorkloadMix Mix;
+  const char *Description;      ///< e.g. "HM list, write 50i/50d"
+};
+
+struct SweepOptions {
+  std::vector<int64_t> Threads;
+  double Secs;
+  unsigned Repeats;
+  uint64_t KeyRange;
+  uint64_t Prefill;
+  std::vector<std::string> Schemes;
+};
+
+inline SweepOptions parseSweep(const CommandLine &Cmd) {
+  SweepOptions O;
+  const bool Full = Cmd.has("full");
+  const unsigned HW = std::thread::hardware_concurrency();
+  std::vector<int64_t> DefaultThreads;
+  if (Full)
+    DefaultThreads = {1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48};
+  else
+    DefaultThreads = {1, 4, 8, static_cast<int64_t>(HW ? HW : 8),
+                      static_cast<int64_t>(HW ? HW + HW / 3 : 12),
+                      static_cast<int64_t>(HW ? 2 * HW : 16)};
+  O.Threads = Cmd.getIntList("threads", DefaultThreads);
+  O.Secs = Cmd.getDouble("secs", Full ? 10.0 : 0.25);
+  O.Repeats =
+      static_cast<unsigned>(Cmd.getInt("repeats", Full ? 5 : 1));
+  O.KeyRange = static_cast<uint64_t>(Cmd.getInt("keyrange", 100000));
+  O.Prefill = static_cast<uint64_t>(Cmd.getInt("prefill", 50000));
+  const std::string S = Cmd.getString("schemes", "");
+  if (S.empty()) {
+    O.Schemes = harness::allSchemes();
+  } else {
+    std::string Item;
+    for (std::size_t I = 0; I <= S.size(); ++I) {
+      if (I == S.size() || S[I] == ',') {
+        if (!Item.empty())
+          O.Schemes.push_back(Item);
+        Item.clear();
+      } else {
+        Item.push_back(S[I]);
+      }
+    }
+  }
+  return O;
+}
+
+/// Runs all panels for one structure and prints the figure's data.
+inline void runFigure(const std::string &Structure,
+                      const std::vector<Panel> &Panels,
+                      const SweepOptions &O) {
+  std::printf("# structure=%s machine_threads=%u\n", Structure.c_str(),
+              std::thread::hardware_concurrency());
+  std::printf("panel,scheme,threads,mops,avg_unreclaimed,peak_unreclaimed,"
+              "ops\n");
+
+  for (const Panel &P : Panels) {
+    struct SummaryRow {
+      std::string Scheme;
+      double Mops;
+      double Unreclaimed;
+    };
+    std::vector<SummaryRow> AtMax;
+
+    for (const std::string &Scheme : O.Schemes) {
+      if (!harness::isSupported(Scheme, Structure))
+        continue;
+      for (int64_t T : O.Threads) {
+        RunStats Mops, Unrec, Peak;
+        uint64_t Ops = 0;
+        for (unsigned R = 0; R < O.Repeats; ++R) {
+          harness::RunSpec Spec;
+          Spec.Scheme = Scheme;
+          Spec.Ds = Structure;
+          Spec.Mix = P.Mix;
+          Spec.Threads = static_cast<unsigned>(T);
+          Spec.Params.KeyRange = O.KeyRange;
+          Spec.Params.Prefill = O.Prefill;
+          Spec.Params.DurationSec = O.Secs;
+          Spec.Params.Seed = 0x5eed + R;
+          const harness::RunResult Res = harness::runOne(Spec);
+          Mops.add(Res.Mops);
+          Unrec.add(Res.AvgUnreclaimed);
+          Peak.add(static_cast<double>(Res.PeakUnreclaimed));
+          Ops += Res.TotalOps;
+        }
+        std::printf("%s,%s,%lld,%.4f,%.1f,%.0f,%llu\n", P.Label,
+                    Scheme.c_str(), static_cast<long long>(T), Mops.mean(),
+                    Unrec.mean(), Peak.max(),
+                    static_cast<unsigned long long>(Ops));
+        std::fflush(stdout);
+        if (T == O.Threads.back())
+          AtMax.push_back({Scheme, Mops.mean(), Unrec.mean()});
+      }
+    }
+
+    std::printf("#\n# %s (%s) at %lld threads:\n", P.Label, P.Description,
+                static_cast<long long>(O.Threads.back()));
+    for (const SummaryRow &Row : AtMax)
+      std::printf("#   %-10s %8.3f Mops/s  avg unreclaimed %10.1f\n",
+                  Row.Scheme.c_str(), Row.Mops, Row.Unreclaimed);
+    std::printf("#\n");
+  }
+}
+
+} // namespace lfsmr::bench
+
+#endif // LFSMR_BENCH_BENCH_COMMON_H

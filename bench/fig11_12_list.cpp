@@ -1,0 +1,35 @@
+//===- bench/fig11_12_list.cpp - Figures 11a/11d and 12a/12d --------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Harris & Michael linked-list panels of the paper's
+/// evaluation: throughput (Figure 11a write, 11d read) and the average
+/// number of retired-but-unreclaimed objects (Figure 12a/12d), for all
+/// nine schemes across a thread sweep.
+///
+/// The list is the paper's *unbalanced reclamation* case: operations are
+/// dominated by long traversals, so only a fraction of threads retire.
+/// Expected shape (paper Section 6): all schemes near-tied in throughput
+/// with HP visibly slower (barrier per pointer hop); Hyaline variants show
+/// much lower unreclaimed counts than Epoch/HE/IBR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_common.h"
+
+using namespace lfsmr;
+using namespace lfsmr::bench;
+using namespace lfsmr::harness;
+
+int main(int argc, char **argv) {
+  const CommandLine Cmd(argc, argv);
+  const SweepOptions O = parseSweep(Cmd);
+  runFigure("list",
+            {Panel{"fig11a+12a", WriteMix, "HM list, write 50i/50d"},
+             Panel{"fig11d+12d", ReadMix, "HM list, read 90g/10p"}},
+            O);
+  return 0;
+}

@@ -1,0 +1,160 @@
+//===- bench/micro_enter_leave.cpp - Operation-cost microbenchmarks -------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark microbenchmarks for the primitive SMR operations,
+/// quantifying the paper's Section 3.2 "Costs" discussion:
+///  - enter+leave pair (claim: Hyaline-1 ~ EBR; Hyaline's CAS adds little)
+///  - deref (claim: era schemes cheap, HP pays a fence per pointer)
+///  - allocate+retire round trip (amortized batch/scan costs)
+/// Each benchmark runs at 1..2x hardware threads to expose contention on
+/// the shared slots/era counters.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/hyaline.h"
+#include "core/hyaline1.h"
+#include "core/hyaline1s.h"
+#include "core/hyaline_s.h"
+#include "smr/ebr.h"
+#include "smr/he.h"
+#include "smr/hp.h"
+#include "smr/ibr.h"
+#include "smr/nomm.h"
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+
+using namespace lfsmr;
+
+namespace {
+
+struct BenchNode {
+  alignas(16) char Header[64]; // raw storage for any scheme's NodeHeader
+  uint64_t Payload;
+};
+
+template <typename S> void deleteBenchNode(void *Hdr, void *) {
+  delete reinterpret_cast<BenchNode *>(Hdr);
+}
+
+/// Constructs the scheme header in the node's raw storage.
+template <typename S> typename S::NodeHeader *headerOf(BenchNode *N) {
+  static_assert(sizeof(typename S::NodeHeader) <= sizeof(N->Header));
+  return new (N->Header) typename S::NodeHeader();
+}
+
+/// Shared scheme instance per benchmark run; first thread in builds it,
+/// last thread out tears it down.
+template <typename S> class SchemeHolder {
+public:
+  static S *acquire() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Refs++ == 0) {
+      smr::Config C;
+      C.MaxThreads = 256;
+      Instance.reset(new S(C, &deleteBenchNode<S>, nullptr));
+    }
+    return Instance.get();
+  }
+  static void release() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (--Refs == 0)
+      Instance.reset();
+  }
+
+private:
+  static std::mutex M;
+  static int Refs;
+  static std::unique_ptr<S> Instance;
+};
+template <typename S> std::mutex SchemeHolder<S>::M;
+template <typename S> int SchemeHolder<S>::Refs = 0;
+template <typename S> std::unique_ptr<S> SchemeHolder<S>::Instance;
+
+template <typename S> void benchEnterLeave(benchmark::State &State) {
+  S *Scheme = SchemeHolder<S>::acquire();
+  const smr::ThreadId Tid = static_cast<smr::ThreadId>(State.thread_index());
+  for (auto _ : State) {
+    auto G = Scheme->enter(Tid);
+    benchmark::DoNotOptimize(G);
+    Scheme->leave(G);
+  }
+  SchemeHolder<S>::release();
+}
+
+template <typename S> void benchDeref(benchmark::State &State) {
+  S *Scheme = SchemeHolder<S>::acquire();
+  const smr::ThreadId Tid = static_cast<smr::ThreadId>(State.thread_index());
+  static std::atomic<BenchNode *> Cell{nullptr};
+  {
+    // Lazily publish one shared node (idempotent: last store wins and all
+    // stores publish equivalent nodes; the leak is bounded and harmless
+    // for a microbenchmark process).
+    auto G = Scheme->enter(Tid);
+    auto *N = new BenchNode();
+    Scheme->initNode(G, headerOf<S>(N));
+    BenchNode *Expected = nullptr;
+    if (!Cell.compare_exchange_strong(Expected, N))
+      delete N;
+    Scheme->leave(G);
+  }
+  for (auto _ : State) {
+    auto G = Scheme->enter(Tid);
+    for (int I = 0; I < 64; ++I)
+      benchmark::DoNotOptimize(Scheme->deref(G, Cell, 0));
+    Scheme->leave(G);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+  SchemeHolder<S>::release();
+}
+
+template <typename S> void benchRetire(benchmark::State &State) {
+  S *Scheme = SchemeHolder<S>::acquire();
+  const smr::ThreadId Tid = static_cast<smr::ThreadId>(State.thread_index());
+  for (auto _ : State) {
+    auto G = Scheme->enter(Tid);
+    auto *N = new BenchNode();
+    auto *Hdr = headerOf<S>(N);
+    Scheme->initNode(G, Hdr);
+    Scheme->retire(G, Hdr);
+    Scheme->leave(G);
+  }
+  SchemeHolder<S>::release();
+}
+
+} // namespace
+
+#define LFSMR_MICRO(Scheme, Type)                                            \
+  BENCHMARK(benchEnterLeave<Type>)                                           \
+      ->Name("enter_leave/" Scheme)                                          \
+      ->ThreadRange(1, 2 * 8)                                                \
+      ->UseRealTime();                                                       \
+  BENCHMARK(benchDeref<Type>)                                                \
+      ->Name("deref_x64/" Scheme)                                            \
+      ->ThreadRange(1, 8)                                                    \
+      ->UseRealTime();                                                       \
+  BENCHMARK(benchRetire<Type>)                                               \
+      ->Name("alloc_retire/" Scheme)                                         \
+      ->ThreadRange(1, 8)                                                    \
+      ->UseRealTime();
+
+LFSMR_MICRO("nomm", smr::NoMM)
+LFSMR_MICRO("epoch", smr::EBR)
+LFSMR_MICRO("hp", smr::HP)
+LFSMR_MICRO("he", smr::HE)
+LFSMR_MICRO("ibr", smr::IBR)
+LFSMR_MICRO("hyaline", core::Hyaline)
+LFSMR_MICRO("hyaline1", core::Hyaline1)
+LFSMR_MICRO("hyalines", core::HyalineS)
+LFSMR_MICRO("hyaline1s", core::Hyaline1S)
+
+BENCHMARK_MAIN();

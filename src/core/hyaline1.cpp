@@ -1,0 +1,110 @@
+//===- core/hyaline1.cpp - Hyaline-1 (single-width CAS) -------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/hyaline1.h"
+
+#include <cassert>
+
+using namespace lfsmr;
+using namespace lfsmr::core;
+using namespace lfsmr::smr;
+
+Hyaline1::Hyaline1(const Config &C, Deleter Free, void *FreeCtx)
+    : HyalineBase(Free, FreeCtx), K(C.MaxThreads),
+      Threshold(std::max<std::size_t>(C.MinBatch, K + 1)),
+      Heads(new CachePadded<std::atomic<uint64_t>>[K]),
+      Threads(new CachePadded<PerThread>[K]) {
+  for (unsigned I = 0; I < K; ++I)
+    Heads[I]->store(PackedHead::pack(false, nullptr),
+                    std::memory_order_relaxed);
+}
+
+Hyaline1::~Hyaline1() {
+  for (unsigned I = 0; I < K; ++I)
+    freeLocalBatch(Threads[I]->Batch);
+#ifndef NDEBUG
+  for (unsigned I = 0; I < K; ++I) {
+    const uint64_t H = Heads[I]->load(std::memory_order_relaxed);
+    assert(!PackedHead::isActive(H) && !PackedHead::pointer(H) &&
+           "Hyaline-1 destroyed while threads are still inside operations");
+  }
+#endif
+}
+
+Hyaline1::Guard Hyaline1::enter(ThreadId Tid) {
+  assert(Tid < K && "thread id out of range (Hyaline-1 is 1:1 thread:slot)");
+  // A plain store suffices: the slot can only be {inactive, null} here
+  // (our own previous leave emptied it and retirers skip inactive slots),
+  // so no concurrent CAS can succeed between then and now. seq_cst makes
+  // the activation visible before any pointer this operation reads, which
+  // recent compilers lower to xchg (the cost comparison in Section 3.2).
+  Heads[Tid]->store(PackedHead::pack(true, nullptr), std::memory_order_seq_cst);
+  return Guard{Tid, nullptr};
+}
+
+void Hyaline1::leave(Guard &G) {
+  const uint64_t Old = Heads[G.Tid]->exchange(
+      PackedHead::pack(false, nullptr), std::memory_order_acq_rel);
+  assert(PackedHead::isActive(Old) && "leave without a matching enter");
+  // Unlike Hyaline, the whole detached list is dereferenced including its
+  // first node: there is no HRef to carry the head node's count.
+  if (HyalineNode *List = PackedHead::pointer(Old))
+    traverse(List, G.Handle);
+  G.Handle = nullptr;
+}
+
+void Hyaline1::trim(Guard &G) {
+  const uint64_t Old = Heads[G.Tid]->load(std::memory_order_acquire);
+  HyalineNode *Curr = PackedHead::pointer(Old);
+  if (!Curr || Curr == G.Handle)
+    return;
+  // The head node stays in place: the eventual leave's swap dereferences
+  // it, so trim must skip it (Figure 15).
+  traverse(Curr->next(std::memory_order_acquire), G.Handle);
+  G.Handle = Curr;
+}
+
+void Hyaline1::retire(Guard &G, NodeHeader *Node) {
+  LocalBatch &B = Threads[G.Tid]->Batch;
+  B.append(Node, /*Birth=*/0);
+  Counter.onRetire();
+  if (B.Size >= Threshold) {
+    publishBatch(B);
+    B.reset();
+  }
+}
+
+void Hyaline1::publishBatch(LocalBatch &B) {
+  B.seal();
+  B.RefNode->setNRef(0, std::memory_order_relaxed);
+
+  // Figure 8: count successful insertions instead of the Adjs arithmetic —
+  // each inserted carrier is dereferenced exactly once, by the slot owner.
+  uint64_t Inserts = 0;
+  HyalineNode *CurrNode = B.First;
+
+  for (unsigned Slot = 0; Slot < K; ++Slot) {
+    std::atomic<uint64_t> &H = *Heads[Slot];
+    uint64_t Old = H.load(std::memory_order_acquire);
+    bool Inserted = false;
+    do {
+      if (!PackedHead::isActive(Old))
+        break; // inactive slot: the owner holds no references
+      CurrNode->setNext(PackedHead::pointer(Old), std::memory_order_relaxed);
+      Inserted = H.compare_exchange_weak(
+          Old, PackedHead::pack(true, CurrNode), std::memory_order_acq_rel,
+          std::memory_order_acquire);
+    } while (!Inserted);
+    if (!Inserted)
+      continue;
+    ++Inserts;
+    CurrNode = CurrNode->BatchNext;
+    assert(CurrNode != B.First && "batch ran out of slot-carrier nodes");
+  }
+  // Frees immediately when Inserts == 0, or when every owner has already
+  // dereferenced its copy (NRef was -Inserts mod 2^64).
+  adjust(B.First, Inserts);
+}

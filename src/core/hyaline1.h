@@ -1,0 +1,106 @@
+//===- core/hyaline1.h - Hyaline-1 (single-width CAS) ------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hyaline-1, the single-width-CAS specialization (Section 3.2 and
+/// Figure 8): every thread owns a unique slot, so `HRef` degenerates to a
+/// single bit merged into the head word. `enter` is a plain store and
+/// `leave` a swap — both wait-free. Batch accounting replaces the Adjs
+/// trick with a simple count of the slots the batch was inserted into
+/// (`Inserts`), because the retirer no longer races with other threads'
+/// enters on the same slot.
+///
+/// Trade-off versus Hyaline (paper Section 4.4): portable to every
+/// architecture with single-width CAS, but only *partially* transparent —
+/// a slot is needed per concurrent thread, so the slot array scales with
+/// MaxThreads rather than with the core count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_CORE_HYALINE1_H
+#define LFSMR_CORE_HYALINE1_H
+
+#include "core/hyaline_base.h"
+#include "core/hyaline_head.h"
+#include "core/hyaline_node.h"
+#include "smr/smr.h"
+#include "support/align.h"
+
+#include <atomic>
+#include <memory>
+
+namespace lfsmr::core {
+
+/// The one-slot-per-thread Hyaline variant.
+class Hyaline1 : public HyalineBase {
+public:
+  using NodeHeader = HyalineNode;
+
+  struct Guard {
+    smr::ThreadId Tid;
+    HyalineNode *Handle; ///< null except after trim (Appendix B)
+  };
+
+  Hyaline1(const smr::Config &C, smr::Deleter Free, void *FreeCtx);
+  ~Hyaline1();
+
+  Hyaline1(const Hyaline1 &) = delete;
+  Hyaline1 &operator=(const Hyaline1 &) = delete;
+
+  /// Wait-free: marks the thread's own slot active with a plain store
+  /// (Figure 8, lines 1-3).
+  Guard enter(smr::ThreadId Tid);
+
+  /// Wait-free publication: swaps the slot empty and dereferences the
+  /// whole detached list (Figure 8, lines 4-6).
+  void leave(Guard &G);
+
+  /// Appendix B: dereferences batches retired so far without detaching
+  /// the list head; advances the handle.
+  void trim(Guard &G);
+
+  /// Plain acquire load (non-robust variant).
+  template <typename T>
+  T *deref(Guard &, const std::atomic<T *> &Src, unsigned /*Idx*/) {
+    return Src.load(std::memory_order_acquire);
+  }
+
+  /// \copydoc deref
+  uintptr_t derefLink(Guard &, const std::atomic<uintptr_t> &Src,
+                      unsigned /*Idx*/) {
+    return Src.load(std::memory_order_acquire);
+  }
+
+  /// Counts the allocation.
+  void initNode(Guard &, NodeHeader *) { Counter.onAlloc(); }
+
+  /// Appends to the thread's local batch; publishes once the batch holds
+  /// max(MinBatch, k+1) nodes, where k == MaxThreads.
+  void retire(Guard &G, NodeHeader *Node);
+
+  /// Number of slots (== MaxThreads for this variant).
+  unsigned slots() const { return K; }
+
+  /// Effective batch-publication threshold (exposed for tests).
+  std::size_t batchThreshold() const { return Threshold; }
+
+private:
+  void publishBatch(LocalBatch &B);
+
+  struct PerThread {
+    LocalBatch Batch;
+  };
+
+  const unsigned K; ///< slot count == MaxThreads (1:1 thread-to-slot)
+  const std::size_t Threshold;
+
+  std::unique_ptr<CachePadded<std::atomic<uint64_t>>[]> Heads;
+  std::unique_ptr<CachePadded<PerThread>[]> Threads;
+};
+
+} // namespace lfsmr::core
+
+#endif // LFSMR_CORE_HYALINE1_H

@@ -1,0 +1,122 @@
+//===- core/hyaline1s.cpp - Hyaline-1S (robust, single-width) -------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/hyaline1s.h"
+
+#include <cassert>
+
+using namespace lfsmr;
+using namespace lfsmr::core;
+using namespace lfsmr::smr;
+
+Hyaline1S::Hyaline1S(const Config &C, Deleter Free, void *FreeCtx)
+    : HyalineBase(Free, FreeCtx), K(C.MaxThreads),
+      Threshold(std::max<std::size_t>(C.MinBatch, K + 1)),
+      EraFreq(C.EraFreq), Slots(new CachePadded<SlotState>[K]),
+      Threads(new CachePadded<PerThread>[K]) {}
+
+Hyaline1S::~Hyaline1S() {
+  for (unsigned I = 0; I < K; ++I)
+    freeLocalBatch(Threads[I]->Batch);
+#ifndef NDEBUG
+  for (unsigned I = 0; I < K; ++I) {
+    const uint64_t H = Slots[I]->H.load(std::memory_order_relaxed);
+    assert(!PackedHead::isActive(H) && !PackedHead::pointer(H) &&
+           "Hyaline-1S destroyed while threads are still inside operations");
+  }
+#endif
+}
+
+Hyaline1S::Guard Hyaline1S::enter(ThreadId Tid) {
+  assert(Tid < K && "thread id out of range (1:1 thread:slot)");
+  Slots[Tid]->H.store(PackedHead::pack(true, nullptr),
+                      std::memory_order_seq_cst);
+  return Guard{Tid, nullptr};
+}
+
+void Hyaline1S::leave(Guard &G) {
+  const uint64_t Old = Slots[G.Tid]->H.exchange(
+      PackedHead::pack(false, nullptr), std::memory_order_acq_rel);
+  assert(PackedHead::isActive(Old) && "leave without a matching enter");
+  if (HyalineNode *List = PackedHead::pointer(Old))
+    traverse(List, G.Handle);
+  G.Handle = nullptr;
+}
+
+void Hyaline1S::trim(Guard &G) {
+  const uint64_t Old = Slots[G.Tid]->H.load(std::memory_order_acquire);
+  HyalineNode *Curr = PackedHead::pointer(Old);
+  if (!Curr || Curr == G.Handle)
+    return;
+  traverse(Curr->next(std::memory_order_acquire), G.Handle);
+  G.Handle = Curr;
+}
+
+uintptr_t Hyaline1S::derefLink(Guard &G, const std::atomic<uintptr_t> &Src,
+                               unsigned /*Idx*/) {
+  SlotState &S = *Slots[G.Tid];
+  uint64_t Access = S.Access.load(std::memory_order_relaxed);
+  while (true) {
+    const uintptr_t Value = Src.load(std::memory_order_acquire);
+    const uint64_t Alloc = AllocEra.load(std::memory_order_seq_cst);
+    if (Access == Alloc)
+      return Value;
+    // 1:1 thread-to-slot: a plain store replaces Hyaline-S's CAS-max
+    // (Figure 9, line 20 note). seq_cst orders it before the re-read.
+    S.Access.store(Alloc, std::memory_order_seq_cst);
+    Access = Alloc;
+  }
+}
+
+void Hyaline1S::initNode(Guard &G, NodeHeader *Node) {
+  PerThread &T = *Threads[G.Tid];
+  if (++T.AllocCounter % EraFreq == 0)
+    AllocEra.fetch_add(1, std::memory_order_acq_rel);
+  Node->setBirthEra(AllocEra.load(std::memory_order_acquire));
+  Counter.onAlloc();
+}
+
+void Hyaline1S::retire(Guard &G, NodeHeader *Node) {
+  LocalBatch &B = Threads[G.Tid]->Batch;
+  B.append(Node, Node->birthEra());
+  Counter.onRetire();
+  if (B.Size >= Threshold) {
+    publishBatch(B);
+    B.reset();
+  }
+}
+
+void Hyaline1S::publishBatch(LocalBatch &B) {
+  B.seal();
+  B.RefNode->setNRef(0, std::memory_order_relaxed);
+
+  uint64_t Inserts = 0;
+  HyalineNode *CurrNode = B.First;
+
+  for (unsigned Slot = 0; Slot < K; ++Slot) {
+    SlotState &S = *Slots[Slot];
+    uint64_t Old = S.H.load(std::memory_order_acquire);
+    bool Inserted = false;
+    do {
+      // Skip inactive slots, and slots whose access era proves their
+      // owner never dereferenced any node of this batch (Figure 9,
+      // line 14) — this is what makes stalled owners harmless.
+      if (!PackedHead::isActive(Old) ||
+          S.Access.load(std::memory_order_seq_cst) < B.MinBirth)
+        break;
+      CurrNode->setNext(PackedHead::pointer(Old), std::memory_order_relaxed);
+      Inserted = S.H.compare_exchange_weak(
+          Old, PackedHead::pack(true, CurrNode), std::memory_order_acq_rel,
+          std::memory_order_acquire);
+    } while (!Inserted);
+    if (!Inserted)
+      continue;
+    ++Inserts;
+    CurrNode = CurrNode->BatchNext;
+    assert(CurrNode != B.First && "batch ran out of slot-carrier nodes");
+  }
+  adjust(B.First, Inserts);
+}

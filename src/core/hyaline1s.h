@@ -1,0 +1,107 @@
+//===- core/hyaline1s.h - Hyaline-1S (robust, single-width) ------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hyaline-1S (Section 4.2, Figure 9): Hyaline-1 extended with birth eras
+/// for robustness. With a 1:1 thread-to-slot mapping the access era needs
+/// no CAS-max (`touch` is a plain store) and no Ack counters: a stalled
+/// thread only pins its own slot, whose retirement list nobody else
+/// depends on, and `retire` skips that slot as soon as its access era goes
+/// stale. The number of unreclaimable nodes is therefore bounded
+/// (Theorem 5) and the scheme is fully robust.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_CORE_HYALINE1S_H
+#define LFSMR_CORE_HYALINE1S_H
+
+#include "core/hyaline_base.h"
+#include "core/hyaline_head.h"
+#include "core/hyaline_node.h"
+#include "smr/smr.h"
+#include "support/align.h"
+
+#include <atomic>
+#include <memory>
+
+namespace lfsmr::core {
+
+/// The robust one-slot-per-thread Hyaline variant.
+class Hyaline1S : public HyalineBase {
+public:
+  using NodeHeader = HyalineNode;
+
+  struct Guard {
+    smr::ThreadId Tid;
+    HyalineNode *Handle; ///< null except after trim
+  };
+
+  Hyaline1S(const smr::Config &C, smr::Deleter Free, void *FreeCtx);
+  ~Hyaline1S();
+
+  Hyaline1S(const Hyaline1S &) = delete;
+  Hyaline1S &operator=(const Hyaline1S &) = delete;
+
+  /// Wait-free slot activation (plain store).
+  Guard enter(smr::ThreadId Tid);
+
+  /// Wait-free: swaps the slot empty and dereferences the detached list.
+  void leave(Guard &G);
+
+  /// Appendix B trim.
+  void trim(Guard &G);
+
+  /// Era-protected read; raises the thread's own access era with a plain
+  /// store (Figure 9, line 20 note).
+  template <typename T>
+  T *deref(Guard &G, const std::atomic<T *> &Src, unsigned /*Idx*/) {
+    return reinterpret_cast<T *>(derefLink(
+        G, reinterpret_cast<const std::atomic<uintptr_t> &>(Src), 0));
+  }
+
+  /// \copydoc deref
+  uintptr_t derefLink(Guard &G, const std::atomic<uintptr_t> &Src,
+                      unsigned /*Idx*/);
+
+  /// Stamps the birth era; ticks the era clock every EraFreq allocations.
+  void initNode(Guard &G, NodeHeader *Node);
+
+  /// Appends to the thread-local batch; publishes at max(MinBatch, k+1).
+  void retire(Guard &G, NodeHeader *Node);
+
+  /// Number of slots (== MaxThreads).
+  unsigned slots() const { return K; }
+
+  /// Current era clock (exposed for tests).
+  uint64_t currentEra() const {
+    return AllocEra.load(std::memory_order_acquire);
+  }
+
+private:
+  struct SlotState {
+    std::atomic<uint64_t> H{0};
+    std::atomic<uint64_t> Access{0};
+  };
+
+  struct PerThread {
+    LocalBatch Batch;
+    uint64_t AllocCounter = 0;
+  };
+
+  void publishBatch(LocalBatch &B);
+
+  const unsigned K;
+  const std::size_t Threshold;
+  const unsigned EraFreq;
+
+  alignas(CacheLineSize) std::atomic<uint64_t> AllocEra{1};
+  std::unique_ptr<CachePadded<SlotState>[]> Slots;
+  std::unique_ptr<CachePadded<PerThread>[]> Threads;
+};
+
+} // namespace lfsmr::core
+
+#endif // LFSMR_CORE_HYALINE1S_H

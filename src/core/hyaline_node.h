@@ -1,0 +1,152 @@
+//===- core/hyaline_node.h - Hyaline node header and batches -----*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three-word per-node header shared by all Hyaline variants and the
+/// thread-local batch accumulator (paper Figure 6).
+///
+/// Word roles over a node's lifetime:
+///  - Word0 starts as the *birth era* (Hyaline-S/1S only), becomes the
+///    per-slot retirement-list *Next* link when the node carries a slot
+///    insertion, or the batch *NRef* reference counter if the node is the
+///    batch's designated NRef node. The roles never overlap in time, which
+///    is why the paper can share one word ("they are not required to
+///    survive retire").
+///  - RefWord points at the batch's NRef node; on the NRef node itself it
+///    stores the batch's Adjs constant (used by the adaptively-resized
+///    Hyaline-S, Section 4.3; the other variants keep Adjs global).
+///  - BatchNext links the nodes of one batch into a cycle: the NRef node's
+///    BatchNext points back at the first node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_CORE_HYALINE_NODE_H
+#define LFSMR_CORE_HYALINE_NODE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfsmr::core {
+
+static_assert(sizeof(void *) == 8, "Hyaline build assumes a 64-bit target");
+
+/// Per-node SMR header for all Hyaline variants; exactly 3 words
+/// (paper Table 1).
+struct HyalineNode {
+  /// NRef | Next | BirthEra, depending on the node's current role.
+  std::atomic<uint64_t> Word0{0};
+  /// Pointer to the batch's NRef node; on the NRef node itself, the
+  /// batch's Adjs value. Written before the batch is published, immutable
+  /// afterwards.
+  uintptr_t RefWord = 0;
+  /// Cyclic batch link; written before publication, immutable afterwards.
+  HyalineNode *BatchNext = nullptr;
+
+  //===--------------------------------------------------------------------===
+  // Word0 as the per-slot list link (carrier nodes, after retirement).
+
+  void setNext(HyalineNode *N, std::memory_order O) {
+    Word0.store(reinterpret_cast<uint64_t>(N), O);
+  }
+  HyalineNode *next(std::memory_order O) const {
+    return reinterpret_cast<HyalineNode *>(Word0.load(O));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Word0 as the reference counter (NRef node only).
+
+  void setNRef(uint64_t V, std::memory_order O) { Word0.store(V, O); }
+
+  /// Adds \p V (mod 2^64) and returns the previous value.
+  uint64_t fetchAddNRef(uint64_t V, std::memory_order O) {
+    return Word0.fetch_add(V, O);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Word0 as the birth era (Hyaline-S/1S, between allocation and retire).
+
+  void setBirthEra(uint64_t Era) {
+    Word0.store(Era, std::memory_order_relaxed);
+  }
+  uint64_t birthEra() const { return Word0.load(std::memory_order_relaxed); }
+
+  //===--------------------------------------------------------------------===
+  // RefWord accessors.
+
+  void setRefNode(HyalineNode *Ref) {
+    RefWord = reinterpret_cast<uintptr_t>(Ref);
+  }
+  HyalineNode *refNode() const {
+    return reinterpret_cast<HyalineNode *>(RefWord);
+  }
+  void setBatchAdjs(uint64_t Adjs) { RefWord = Adjs; }
+  uint64_t batchAdjs() const { return RefWord; }
+};
+
+static_assert(sizeof(HyalineNode) == 24, "header must stay at 3 words");
+
+/// Thread-local accumulator of retired nodes (paper Figure 6,
+/// local_batch_t). Nodes are chained First -> ... -> RefNode through
+/// BatchNext; the cycle is closed (RefNode->BatchNext = First) when the
+/// batch is published.
+struct LocalBatch {
+  /// The node that will carry the batch reference counter. It never
+  /// carries a slot link, hence "usable" slot carriers = Size - 1.
+  HyalineNode *RefNode = nullptr;
+  /// Most recently appended node; head of the carrier chain.
+  HyalineNode *First = nullptr;
+  /// Number of nodes in the batch, including RefNode.
+  std::size_t Size = 0;
+  /// Minimum birth era across the batch's nodes (Hyaline-S/1S only).
+  uint64_t MinBirth = 0;
+
+  bool empty() const { return Size == 0; }
+
+  /// Appends a freshly retired node. \p Birth is ignored by the
+  /// non-robust variants.
+  void append(HyalineNode *N, uint64_t Birth) {
+    if (!RefNode) {
+      RefNode = N;
+      MinBirth = Birth;
+    } else {
+      N->BatchNext = First;
+      if (Birth < MinBirth)
+        MinBirth = Birth;
+    }
+    First = N;
+    ++Size;
+  }
+
+  /// Points every node at the NRef node and closes the BatchNext cycle.
+  /// Must be called exactly once, just before publication.
+  void seal() {
+    assert(Size >= 2 && "a batch needs at least one carrier node");
+    RefNode->BatchNext = First;
+    for (HyalineNode *N = First; N != RefNode; N = N->BatchNext)
+      N->setRefNode(RefNode);
+  }
+
+  void reset() { *this = LocalBatch(); }
+};
+
+/// The Adjs constant for \p K slots (K must be a power of two):
+/// floor((2^64 - 1) / K) + 1, i.e. 2^64 / K with wrap-around, so that
+/// K * Adjs == 0 (mod 2^64) — the paper's cancellation trick (Section 3.2).
+constexpr uint64_t adjsForSlots(uint64_t K) {
+  assert((K & (K - 1)) == 0 && "slot count must be a power of two");
+  return UINT64_MAX / K + 1;
+}
+
+static_assert(adjsForSlots(1) == 0, "k=1: Adjs cancels out immediately");
+static_assert(adjsForSlots(8) == (uint64_t{1} << 61),
+              "k=8 on 64-bit: Adjs = 2^61 (paper's example)");
+static_assert(8 * adjsForSlots(8) == 0, "k * Adjs must wrap to zero");
+
+} // namespace lfsmr::core
+
+#endif // LFSMR_CORE_HYALINE_NODE_H

@@ -1,0 +1,132 @@
+//===- core/hyaline_packed.cpp - Hyaline with a squeezed head -------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/hyaline_packed.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace lfsmr;
+using namespace lfsmr::core;
+using namespace lfsmr::smr;
+
+static unsigned resolveSlots(const Config &C) {
+  unsigned Want = C.Slots;
+  if (Want == 0)
+    Want = std::thread::hardware_concurrency();
+  if (Want == 0)
+    Want = 1;
+  return static_cast<unsigned>(nextPowerOfTwo(Want));
+}
+
+HyalinePacked::HyalinePacked(const Config &C, Deleter Free, void *FreeCtx)
+    : HyalineBase(Free, FreeCtx), K(resolveSlots(C)), Adjs(adjsForSlots(K)),
+      Threshold(std::max<std::size_t>(C.MinBatch, K + 1)),
+      MaxThreads(C.MaxThreads),
+      Heads(new CachePadded<std::atomic<uint64_t>>[K]),
+      Threads(new CachePadded<PerThread>[C.MaxThreads]) {
+  for (unsigned I = 0; I < K; ++I)
+    Heads[I]->store(0, std::memory_order_relaxed);
+}
+
+HyalinePacked::~HyalinePacked() {
+  for (unsigned I = 0; I < MaxThreads; ++I)
+    freeLocalBatch(Threads[I]->Batch);
+#ifndef NDEBUG
+  for (unsigned I = 0; I < K; ++I)
+    assert(Heads[I]->load(std::memory_order_relaxed) == 0 &&
+           "HyalinePacked destroyed while threads are inside operations");
+#endif
+}
+
+HyalinePacked::Guard HyalinePacked::enter(ThreadId Tid) {
+  assert(Tid < MaxThreads && "thread id out of range");
+  const unsigned Slot = Tid & (K - 1);
+  // The packed layout pays off here: the counter lives in the top bits,
+  // so arrival is one wait-free FAA (the paper's dFAA, single width).
+  const uint64_t Old =
+      Heads[Slot]->fetch_add(RefOne, std::memory_order_acq_rel);
+  assert(refOf(Old) < 0xFFFF && "slot reference counter saturated");
+  return Guard{Tid, Slot, ptrOf(Old)};
+}
+
+void HyalinePacked::leave(Guard &G) {
+  std::atomic<uint64_t> &H = *Heads[G.Slot];
+  uint64_t Old = H.load(std::memory_order_acquire);
+  HyalineNode *Curr = nullptr;
+  HyalineNode *Next = nullptr;
+  uint64_t New;
+  do {
+    assert(refOf(Old) >= 1 && "leave without a matching enter");
+    Curr = ptrOf(Old);
+    if (Curr != G.Handle) {
+      assert(Curr && "head cannot be null while our handle is newer");
+      Next = Curr->next(std::memory_order_acquire);
+    }
+    New = (refOf(Old) == 1) ? 0 : pack(refOf(Old) - 1, Curr);
+  } while (!H.compare_exchange_weak(Old, New, std::memory_order_acq_rel,
+                                    std::memory_order_acquire));
+  if (refOf(Old) == 1 && Curr)
+    adjust(Curr, Adjs);
+  if (Curr != G.Handle)
+    traverse(Next, G.Handle);
+  G.Handle = nullptr;
+}
+
+void HyalinePacked::trim(Guard &G) {
+  const uint64_t Old = Heads[G.Slot]->load(std::memory_order_acquire);
+  HyalineNode *Curr = ptrOf(Old);
+  if (Curr == G.Handle)
+    return;
+  assert(Curr && "head cannot be null while our handle is newer");
+  traverse(Curr->next(std::memory_order_acquire), G.Handle);
+  G.Handle = Curr;
+}
+
+void HyalinePacked::retire(Guard &G, NodeHeader *Node) {
+  assert(G.Tid < MaxThreads && "thread id out of range");
+  LocalBatch &B = Threads[G.Tid]->Batch;
+  B.append(Node, /*Birth=*/0);
+  Counter.onRetire();
+  if (B.Size >= Threshold) {
+    publishBatch(B);
+    B.reset();
+  }
+}
+
+void HyalinePacked::publishBatch(LocalBatch &B) {
+  B.seal();
+  B.RefNode->setNRef(0, std::memory_order_relaxed);
+
+  bool DoAdj = false;
+  uint64_t Empty = 0;
+  HyalineNode *CurrNode = B.First;
+
+  for (unsigned Slot = 0; Slot < K; ++Slot) {
+    std::atomic<uint64_t> &H = *Heads[Slot];
+    uint64_t Old = H.load(std::memory_order_acquire);
+    bool Inserted = false;
+    do {
+      if (refOf(Old) == 0) {
+        DoAdj = true;
+        Empty += Adjs;
+        break;
+      }
+      CurrNode->setNext(ptrOf(Old), std::memory_order_relaxed);
+      Inserted = H.compare_exchange_weak(Old, pack(refOf(Old), CurrNode),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+    } while (!Inserted);
+    if (!Inserted)
+      continue;
+    CurrNode = CurrNode->BatchNext;
+    assert(CurrNode != B.First && "batch ran out of slot-carrier nodes");
+    if (HyalineNode *Pred = ptrOf(Old))
+      adjust(Pred, Adjs + refOf(Old));
+  }
+  if (DoAdj)
+    adjust(B.First, Empty);
+}

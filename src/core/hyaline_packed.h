@@ -1,0 +1,121 @@
+//===- core/hyaline_packed.h - Hyaline with a squeezed head ------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HyalinePacked: the multiple-list Hyaline algorithm with the head tuple
+/// squeezed into ONE machine word, as the paper sketches for targets with
+/// neither double-width CAS nor LL/SC (Section 2: "SPARC uses 54-bit
+/// virtual addresses; 48-bit cache-line aligned pointers where lower 6
+/// bits are 0s can be squeezed with 16-bit counters").
+///
+/// Layout: [ HRef : 16 | HPtr : 48 ]. x86-64 user-space heap pointers fit
+/// in 48 bits (checked at runtime), and 16 bits bound the number of
+/// threads concurrently inside one slot at 65535.
+///
+/// A bonus of the packed layout: `enter` becomes a single FAA on the high
+/// bits — wait-free, like the paper's dFAA — instead of a CAS loop.
+/// Everything else (batches, Adjs arithmetic, traversal) is identical to
+/// Hyaline; the scheme shares HyalineBase.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_CORE_HYALINE_PACKED_H
+#define LFSMR_CORE_HYALINE_PACKED_H
+
+#include "core/hyaline_base.h"
+#include "core/hyaline_node.h"
+#include "smr/smr.h"
+#include "support/align.h"
+
+#include <atomic>
+#include <memory>
+
+namespace lfsmr::core {
+
+/// Hyaline with a single-word [HRef:16 | HPtr:48] head.
+class HyalinePacked : public HyalineBase {
+public:
+  using NodeHeader = HyalineNode;
+
+  struct Guard {
+    smr::ThreadId Tid;
+    unsigned Slot;
+    HyalineNode *Handle;
+  };
+
+  HyalinePacked(const smr::Config &C, smr::Deleter Free, void *FreeCtx);
+  ~HyalinePacked();
+
+  HyalinePacked(const HyalinePacked &) = delete;
+  HyalinePacked &operator=(const HyalinePacked &) = delete;
+
+  /// Wait-free: one FAA on the packed head's counter bits.
+  Guard enter(smr::ThreadId Tid);
+
+  /// As Hyaline's leave (Figure 7 lines 6-19), on the packed word.
+  void leave(Guard &G);
+
+  /// Appendix B trim.
+  void trim(Guard &G);
+
+  /// Plain acquire load (non-robust variant).
+  template <typename T>
+  T *deref(Guard &, const std::atomic<T *> &Src, unsigned /*Idx*/) {
+    return Src.load(std::memory_order_acquire);
+  }
+
+  /// \copydoc deref
+  uintptr_t derefLink(Guard &, const std::atomic<uintptr_t> &Src,
+                      unsigned /*Idx*/) {
+    return Src.load(std::memory_order_acquire);
+  }
+
+  /// Counts the allocation.
+  void initNode(Guard &, NodeHeader *) { Counter.onAlloc(); }
+
+  /// As Hyaline's retire: batch locally, publish at max(MinBatch, k+1).
+  void retire(Guard &G, NodeHeader *Node);
+
+  /// Number of slots `k` (power of two).
+  unsigned slots() const { return K; }
+
+  /// Effective batch-publication threshold (exposed for tests).
+  std::size_t batchThreshold() const { return Threshold; }
+
+private:
+  static constexpr unsigned RefShift = 48;
+  static constexpr uint64_t PtrMask = (uint64_t{1} << RefShift) - 1;
+  static constexpr uint64_t RefOne = uint64_t{1} << RefShift;
+
+  static uint64_t pack(uint64_t Ref, HyalineNode *Ptr) {
+    const uint64_t Raw = reinterpret_cast<uint64_t>(Ptr);
+    assert((Raw & ~PtrMask) == 0 && "pointer exceeds 48 bits; packed "
+                                    "Hyaline cannot encode it");
+    return (Ref << RefShift) | Raw;
+  }
+  static uint64_t refOf(uint64_t Word) { return Word >> RefShift; }
+  static HyalineNode *ptrOf(uint64_t Word) {
+    return reinterpret_cast<HyalineNode *>(Word & PtrMask);
+  }
+
+  void publishBatch(LocalBatch &B);
+
+  struct PerThread {
+    LocalBatch Batch;
+  };
+
+  const unsigned K;
+  const uint64_t Adjs;
+  const std::size_t Threshold;
+  const unsigned MaxThreads;
+
+  std::unique_ptr<CachePadded<std::atomic<uint64_t>>[]> Heads;
+  std::unique_ptr<CachePadded<PerThread>[]> Threads;
+};
+
+} // namespace lfsmr::core
+
+#endif // LFSMR_CORE_HYALINE_PACKED_H

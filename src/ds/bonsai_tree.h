@@ -1,0 +1,357 @@
+//===- ds/bonsai_tree.h - Bonsai path-copying balanced tree ------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free-read Bonsai tree in the style of Clements et al.
+/// [ASPLOS'12], as used by the paper's evaluation (Figure 13): an
+/// immutable weight-balanced (Adams/BB[alpha]) binary tree. Readers
+/// traverse a root snapshot without any per-node protection; writers
+/// rebuild the path from the modified leaf to the root (rebalancing as
+/// they go) and install it with a single CAS on the root pointer, retiring
+/// every replaced node on success.
+///
+/// This makes updates retire O(log n) nodes each — the paper's
+/// retire-heavy stress test — and makes the number of pointers a reader
+/// holds unbounded, which is why HP and HE cannot run this structure
+/// (paper Section 6: "HP and HE are not implemented due to the complexity
+/// of the tree rotation operations").
+///
+/// Era-scheme safety note: only the root is read through `deref`. That is
+/// sufficient because children are always allocated before their parents
+/// (new nodes only ever point at older subtrees), so a slot era covering
+/// the root's birth era covers every reachable node's birth era.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_DS_BONSAI_TREE_H
+#define LFSMR_DS_BONSAI_TREE_H
+
+#include "ds/list_ops.h" // Key/Value
+#include "smr/smr.h"
+#include "support/align.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace lfsmr::ds {
+
+/// Path-copying weight-balanced tree, generic over the SMR scheme \p S.
+/// \p S must support unbounded concurrent reads per operation (all schemes
+/// in this library except HP and HE).
+template <typename S> class BonsaiTree {
+public:
+  struct Node {
+    typename S::NodeHeader Hdr;
+    Key K;
+    Value V;
+    uint64_t Size; ///< subtree node count (weight balancing)
+    Node *L;
+    Node *R;
+    bool Fresh; ///< allocated by the in-flight operation (never published)
+  };
+
+  using Guard = typename S::Guard;
+
+  explicit BonsaiTree(const smr::Config &C)
+      : Smr(C, &deleteNode, nullptr), Root(nullptr),
+        Scratch(new CachePadded<OpScratch>[C.MaxThreads]),
+        MaxThreads(C.MaxThreads) {}
+
+  /// Recursively frees the final snapshot; concurrent access must have
+  /// ceased.
+  ~BonsaiTree() { destroy(Root.load(std::memory_order_relaxed)); }
+
+  BonsaiTree(const BonsaiTree &) = delete;
+  BonsaiTree &operator=(const BonsaiTree &) = delete;
+
+  /// Inserts (K, V); returns false if K is already present.
+  bool insert(smr::ThreadId Tid, Key K, Value V) {
+    auto G = Smr.enter(Tid);
+    OpScratch &Sc = *Scratch[Tid];
+    bool Ok;
+    while (true) {
+      Node *Old = Smr.deref(G, Root, 0);
+      if (containsIn(Old, K)) {
+        Ok = false;
+        break;
+      }
+      Sc.clear();
+      Node *NewRoot = insertRec(G, Sc, Old, K, V);
+      if (publish(G, Sc, Old, NewRoot)) {
+        Ok = true;
+        break;
+      }
+    }
+    Smr.leave(G);
+    return Ok;
+  }
+
+  /// Removes K; returns false if absent.
+  bool remove(smr::ThreadId Tid, Key K) {
+    auto G = Smr.enter(Tid);
+    OpScratch &Sc = *Scratch[Tid];
+    bool Ok;
+    while (true) {
+      Node *Old = Smr.deref(G, Root, 0);
+      if (!containsIn(Old, K)) {
+        Ok = false;
+        break;
+      }
+      Sc.clear();
+      Node *NewRoot = removeRec(G, Sc, Old, K);
+      if (publish(G, Sc, Old, NewRoot)) {
+        Ok = true;
+        break;
+      }
+    }
+    Smr.leave(G);
+    return Ok;
+  }
+
+  /// Insert-or-replace: path-copies to K's position unconditionally; an
+  /// existing node is superseded (and retired on success) by a copy with
+  /// the new value. Returns true if K was newly inserted.
+  bool put(smr::ThreadId Tid, Key K, Value V) {
+    auto G = Smr.enter(Tid);
+    OpScratch &Sc = *Scratch[Tid];
+    bool Inserted;
+    while (true) {
+      Node *Old = Smr.deref(G, Root, 0);
+      Inserted = !containsIn(Old, K);
+      Sc.clear();
+      Node *NewRoot = putRec(G, Sc, Old, K, V);
+      if (publish(G, Sc, Old, NewRoot))
+        break;
+    }
+    Smr.leave(G);
+    return Inserted;
+  }
+
+  /// Returns the value mapped to K, if any. Lock-free read over an
+  /// immutable snapshot.
+  std::optional<Value> get(smr::ThreadId Tid, Key K) {
+    auto G = Smr.enter(Tid);
+    std::optional<Value> Result;
+    const Node *N = Smr.deref(G, Root, 0);
+    while (N) {
+      if (K == N->K) {
+        Result = N->V;
+        break;
+      }
+      N = (K < N->K) ? N->L : N->R;
+    }
+    Smr.leave(G);
+    return Result;
+  }
+
+  /// Number of keys in the current snapshot (exposed for tests).
+  uint64_t size() const {
+    const Node *N = Root.load(std::memory_order_acquire);
+    return N ? N->Size : 0;
+  }
+
+  /// Current snapshot root (exposed for invariant-checking tests; callers
+  /// must guarantee quiescence).
+  const Node *rootForValidation() const {
+    return Root.load(std::memory_order_acquire);
+  }
+
+  /// The underlying reclamation scheme (for counters and tests).
+  S &smr() { return Smr; }
+  const S &smr() const { return Smr; }
+
+private:
+  /// Adams' weight factor: a subtree may be at most Weight times heavier
+  /// than its sibling before a rotation restores balance.
+  static constexpr uint64_t Weight = 4;
+
+  /// Per-thread construction scratch: every node allocated by the
+  /// in-flight operation, the published-tree nodes it replaces, and the
+  /// fresh nodes discarded by rebalancing before ever being published.
+  struct OpScratch {
+    std::vector<Node *> NewNodes;
+    std::vector<Node *> Dead;
+    std::vector<Node *> ReplacedFresh;
+
+    void clear() {
+      NewNodes.clear();
+      Dead.clear();
+      ReplacedFresh.clear();
+    }
+  };
+
+  static void deleteNode(void *Hdr, void * /*Ctx*/) {
+    delete static_cast<Node *>(Hdr);
+  }
+
+  static void destroy(Node *N) {
+    if (!N)
+      return;
+    destroy(N->L);
+    destroy(N->R);
+    delete N;
+  }
+
+  static uint64_t sizeOf(const Node *N) { return N ? N->Size : 0; }
+
+  static bool containsIn(const Node *N, Key K) {
+    while (N) {
+      if (K == N->K)
+        return true;
+      N = (K < N->K) ? N->L : N->R;
+    }
+    return false;
+  }
+
+  Node *mk(Guard &G, OpScratch &Sc, Key K, Value V, Node *L, Node *R) {
+    Node *N = new Node{typename S::NodeHeader(), K,
+                       V,  1 + sizeOf(L) + sizeOf(R),
+                       L,  R,
+                       true};
+    Smr.initNode(G, &N->Hdr);
+    Sc.NewNodes.push_back(N);
+    return N;
+  }
+
+  /// Records that published node \p N is superseded by this operation
+  /// (retired on success), or that fresh node \p N created earlier in this
+  /// operation was made redundant by a rotation (freed on success; the
+  /// failure path frees all of NewNodes anyway).
+  static void supersede(OpScratch &Sc, Node *N) {
+    if (N->Fresh)
+      Sc.ReplacedFresh.push_back(N);
+    else
+      Sc.Dead.push_back(N);
+  }
+
+  /// Smart constructor: builds a node for (K, V, L, R) and restores the
+  /// weight-balance invariant with single/double rotations (Adams'
+  /// balancing, the Bonsai tree's scheme).
+  Node *balance(Guard &G, OpScratch &Sc, Key K, Value V, Node *L, Node *R) {
+    const uint64_t Ln = sizeOf(L), Rn = sizeOf(R);
+    if (Ln + Rn <= 1)
+      return mk(G, Sc, K, V, L, R);
+    if (Rn > Weight * Ln) { // right too heavy
+      Node *Rl = R->L, *Rr = R->R;
+      supersede(Sc, R);
+      if (sizeOf(Rl) < sizeOf(Rr)) // single left rotation
+        return mk(G, Sc, R->K, R->V, mk(G, Sc, K, V, L, Rl), Rr);
+      supersede(Sc, Rl); // double rotation promotes Rl
+      return mk(G, Sc, Rl->K, Rl->V, mk(G, Sc, K, V, L, Rl->L),
+                mk(G, Sc, R->K, R->V, Rl->R, Rr));
+    }
+    if (Ln > Weight * Rn) { // left too heavy
+      Node *Ll = L->L, *Lr = L->R;
+      supersede(Sc, L);
+      if (sizeOf(Lr) < sizeOf(Ll)) // single right rotation
+        return mk(G, Sc, L->K, L->V, Ll, mk(G, Sc, K, V, Lr, R));
+      supersede(Sc, Lr); // double rotation promotes Lr
+      return mk(G, Sc, Lr->K, Lr->V, mk(G, Sc, L->K, L->V, Ll, Lr->L),
+                mk(G, Sc, K, V, Lr->R, R));
+    }
+    return mk(G, Sc, K, V, L, R);
+  }
+
+  /// Copies the path to K's position, inserting a new leaf. The caller
+  /// has verified K is absent in this snapshot.
+  Node *insertRec(Guard &G, OpScratch &Sc, Node *N, Key K, Value V) {
+    if (!N)
+      return mk(G, Sc, K, V, nullptr, nullptr);
+    assert(K != N->K && "caller checks membership first");
+    supersede(Sc, N);
+    if (K < N->K)
+      return balance(G, Sc, N->K, N->V, insertRec(G, Sc, N->L, K, V), N->R);
+    return balance(G, Sc, N->K, N->V, N->L, insertRec(G, Sc, N->R, K, V));
+  }
+
+  /// Like insertRec but replaces the value when K is already present.
+  Node *putRec(Guard &G, OpScratch &Sc, Node *N, Key K, Value V) {
+    if (!N)
+      return mk(G, Sc, K, V, nullptr, nullptr);
+    supersede(Sc, N);
+    if (K == N->K)
+      return mk(G, Sc, K, V, N->L, N->R);
+    if (K < N->K)
+      return balance(G, Sc, N->K, N->V, putRec(G, Sc, N->L, K, V), N->R);
+    return balance(G, Sc, N->K, N->V, N->L, putRec(G, Sc, N->R, K, V));
+  }
+
+  /// Removes the maximum node of \p N's subtree, returning its key/value
+  /// through \p MaxK / \p MaxV and the remaining subtree.
+  Node *extractMax(Guard &G, OpScratch &Sc, Node *N, Key &MaxK, Value &MaxV) {
+    assert(N && "extractMax of an empty subtree");
+    supersede(Sc, N);
+    if (!N->R) {
+      MaxK = N->K;
+      MaxV = N->V;
+      return N->L;
+    }
+    Node *NewR = extractMax(G, Sc, N->R, MaxK, MaxV);
+    return balance(G, Sc, N->K, N->V, N->L, NewR);
+  }
+
+  /// Joins two subtrees whose keys are entirely ordered (all of L < all
+  /// of R), used when deleting an interior node.
+  Node *join(Guard &G, OpScratch &Sc, Node *L, Node *R) {
+    if (!L)
+      return R;
+    if (!R)
+      return L;
+    Key MaxK;
+    Value MaxV;
+    Node *NewL = extractMax(G, Sc, L, MaxK, MaxV);
+    return balance(G, Sc, MaxK, MaxV, NewL, R);
+  }
+
+  /// Copies the path to K and removes its node. The caller has verified K
+  /// is present in this snapshot.
+  Node *removeRec(Guard &G, OpScratch &Sc, Node *N, Key K) {
+    assert(N && "caller checks membership first");
+    supersede(Sc, N);
+    if (K == N->K)
+      return join(G, Sc, N->L, N->R);
+    if (K < N->K)
+      return balance(G, Sc, N->K, N->V, removeRec(G, Sc, N->L, K), N->R);
+    return balance(G, Sc, N->K, N->V, N->L, removeRec(G, Sc, N->R, K));
+  }
+
+  /// Installs \p NewRoot over snapshot \p Old. On success retires every
+  /// replaced published node and frees rotation leftovers; on failure
+  /// frees everything this attempt allocated.
+  bool publish(Guard &G, OpScratch &Sc, Node *Old, Node *NewRoot) {
+    // The Fresh flag means "allocated by the in-flight operation". It must
+    // be cleared BEFORE publication: once the CAS succeeds another
+    // operation may supersede these nodes, and a stale Fresh flag would
+    // make it discard() a shared node instantly instead of retiring it.
+    for (Node *N : Sc.NewNodes)
+      N->Fresh = false;
+    Node *Expected = Old;
+    if (Root.compare_exchange_strong(Expected, NewRoot,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      for (Node *N : Sc.Dead)
+        Smr.retire(G, &N->Hdr);
+      for (Node *N : Sc.ReplacedFresh)
+        Smr.discard(&N->Hdr);
+      return true;
+    }
+    for (Node *N : Sc.NewNodes)
+      Smr.discard(&N->Hdr);
+    return false;
+  }
+
+  S Smr;
+  std::atomic<Node *> Root;
+  std::unique_ptr<CachePadded<OpScratch>[]> Scratch;
+  const unsigned MaxThreads;
+};
+
+} // namespace lfsmr::ds
+
+#endif // LFSMR_DS_BONSAI_TREE_H

@@ -1,0 +1,230 @@
+//===- ds/list_ops.h - Harris-Michael list operations ------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sorted lock-free linked list of Harris [DISC'01] in Michael's
+/// hazard-pointer-compatible formulation [TPDS'04]: deleted nodes are
+/// retired as soon as they are physically unlinked, which is the "modified"
+/// semantics required by the robust schemes (paper Section 2, "Semantics").
+///
+/// The operations are written against a single chain head so both the
+/// standalone list (paper Figures 11a/d) and the hash map's buckets
+/// (Figures 11b/e) share them.
+///
+/// Mark convention: bit 0 of a node's `Next` word is set when the node is
+/// logically deleted. Hazard-slot usage: indices 0..2, rotated as the
+/// traversal advances so `prev`, `curr`, and `next` stay protected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_DS_LIST_OPS_H
+#define LFSMR_DS_LIST_OPS_H
+
+#include "smr/smr.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+namespace lfsmr::ds {
+
+/// Key/value types used by every benchmark data structure (the paper draws
+/// 64-bit integer keys uniformly from [0, 100000)).
+using Key = uint64_t;
+using Value = uint64_t;
+
+/// Harris-Michael list operations, generic over the SMR scheme.
+template <typename S> struct ListOps {
+  using Guard = typename S::Guard;
+
+  /// List node; the SMR header must be the first member so the scheme's
+  /// deleter can recover the node from the header address.
+  struct Node {
+    typename S::NodeHeader Hdr;
+    Key K;
+    Value V;
+    std::atomic<uintptr_t> Next;
+
+    Node(Key K, Value V) : Hdr(), K(K), V(V), Next(0) {}
+  };
+
+  static_assert(offsetof(Node, Hdr) == 0,
+                "SMR header must sit at the start of the node");
+
+  /// The scheme deleter for list nodes.
+  static void deleteNode(void *Hdr, void * /*Ctx*/) {
+    delete static_cast<Node *>(Hdr);
+  }
+
+  static constexpr uintptr_t Mark = 1;
+
+  static Node *toNode(uintptr_t Raw) {
+    return reinterpret_cast<Node *>(Raw & ~Mark);
+  }
+  static uintptr_t toRaw(Node *N) { return reinterpret_cast<uintptr_t>(N); }
+
+  /// Result of a traversal: the link that pointed at `Curr` and the first
+  /// node with `K >= key` (null when the tail was reached).
+  struct Position {
+    std::atomic<uintptr_t> *PrevLink;
+    Node *Curr;
+    uintptr_t NextRaw; ///< Curr's successor (unmarked) when Curr != null
+    bool Found;
+  };
+
+  /// Michael's find: locates the insertion point for \p K, physically
+  /// unlinking (and retiring) any marked nodes encountered.
+  static Position find(S &Smr, Guard &G, std::atomic<uintptr_t> &Head,
+                       Key K) {
+  retry:
+    std::atomic<uintptr_t> *PrevLink = &Head;
+    // Hazard-slot roles rotate among {0,1,2}: CurrIdx protects Curr,
+    // NextIdx the node after it, the third slot keeps the previous node
+    // alive so PrevLink stays dereferenceable.
+    unsigned CurrIdx = 0, NextIdx = 1, SpareIdx = 2;
+    uintptr_t CurrRaw = Smr.derefLink(G, *PrevLink, CurrIdx);
+    while (true) {
+      Node *Curr = toNode(CurrRaw);
+      if (!Curr)
+        return Position{PrevLink, nullptr, 0, false};
+      const uintptr_t NextRaw = Smr.derefLink(G, Curr->Next, NextIdx);
+      // Validate: PrevLink must still point at Curr, unmarked. This also
+      // detects a marked (deleted) predecessor, whose Next word would now
+      // carry the mark bit.
+      if (PrevLink->load(std::memory_order_acquire) != (CurrRaw & ~Mark))
+        goto retry;
+      if (NextRaw & Mark) {
+        // Curr is logically deleted: unlink it and retire immediately.
+        uintptr_t Expected = CurrRaw & ~Mark;
+        if (!PrevLink->compare_exchange_strong(Expected, NextRaw & ~Mark,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire))
+          goto retry;
+        Smr.retire(G, &Curr->Hdr);
+        CurrRaw = NextRaw & ~Mark;
+        std::swap(CurrIdx, NextIdx); // Next's protection now guards Curr
+        continue;
+      }
+      if (Curr->K >= K)
+        return Position{PrevLink, Curr, NextRaw, Curr->K == K};
+      PrevLink = &Curr->Next;
+      CurrRaw = NextRaw;
+      // Advance one hop: Curr becomes the predecessor (keeps its slot),
+      // Next becomes Curr, and the old predecessor's slot is recycled.
+      const unsigned Old = SpareIdx;
+      SpareIdx = CurrIdx;
+      CurrIdx = NextIdx;
+      NextIdx = Old;
+    }
+  }
+
+  /// Inserts (K, V); fails if the key is present.
+  static bool insert(S &Smr, Guard &G, std::atomic<uintptr_t> &Head, Key K,
+                     Value V) {
+    Node *Fresh = nullptr;
+    while (true) {
+      Position Pos = find(Smr, G, Head, K);
+      if (Pos.Found) {
+        if (Fresh)
+          Smr.discard(&Fresh->Hdr);
+        return false;
+      }
+      if (!Fresh) {
+        Fresh = new Node(K, V);
+        Smr.initNode(G, &Fresh->Hdr);
+      }
+      Fresh->Next.store(toRaw(Pos.Curr), std::memory_order_relaxed);
+      uintptr_t Expected = toRaw(Pos.Curr);
+      if (Pos.PrevLink->compare_exchange_strong(Expected, toRaw(Fresh),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire))
+        return true;
+    }
+  }
+
+  /// Removes K; fails if absent. The winner of the marking CAS retires the
+  /// node (after it is physically unlinked here or by a helping find).
+  static bool remove(S &Smr, Guard &G, std::atomic<uintptr_t> &Head, Key K) {
+    while (true) {
+      Position Pos = find(Smr, G, Head, K);
+      if (!Pos.Found)
+        return false;
+      Node *Victim = Pos.Curr;
+      // Logically delete: set the mark bit on the victim's Next.
+      uintptr_t Succ = Pos.NextRaw;
+      if (!Victim->Next.compare_exchange_strong(Succ, Succ | Mark,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire))
+        continue; // next changed or someone else marked: re-find
+      // Try to unlink. On failure, a (possibly our own) helping find()
+      // performs the unlink and retires the victim; exactly one retire
+      // happens either way because only one unlink CAS can succeed.
+      uintptr_t Expected = toRaw(Victim);
+      if (Pos.PrevLink->compare_exchange_strong(Expected, Succ,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        Smr.retire(G, &Victim->Hdr);
+      } else {
+        find(Smr, G, Head, K); // help physical removal
+      }
+      return true;
+    }
+  }
+
+  /// Looks up K.
+  static std::optional<Value> get(S &Smr, Guard &G,
+                                  std::atomic<uintptr_t> &Head, Key K) {
+    Position Pos = find(Smr, G, Head, K);
+    if (!Pos.Found)
+      return std::nullopt;
+    return Pos.Curr->V;
+  }
+
+  /// Insert-or-replace (the benchmark's "put", paper Section 6's
+  /// read-dominated mix): an existing binding is replaced by marking the
+  /// old node (exactly like remove) and swinging the predecessor to a
+  /// fresh node in one step, retiring the old one. Returns true if K was
+  /// newly inserted, false if an existing binding was replaced.
+  static bool put(S &Smr, Guard &G, std::atomic<uintptr_t> &Head, Key K,
+                  Value V) {
+    Node *Fresh = new Node(K, V);
+    Smr.initNode(G, &Fresh->Hdr);
+    while (true) {
+      Position Pos = find(Smr, G, Head, K);
+      if (!Pos.Found) {
+        Fresh->Next.store(toRaw(Pos.Curr), std::memory_order_relaxed);
+        uintptr_t Expected = toRaw(Pos.Curr);
+        if (Pos.PrevLink->compare_exchange_strong(Expected, toRaw(Fresh),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire))
+          return true;
+        continue;
+      }
+      Node *Victim = Pos.Curr;
+      uintptr_t Succ = Pos.NextRaw;
+      // Logically delete the old binding; the replacement linearizes here.
+      if (!Victim->Next.compare_exchange_strong(Succ, Succ | Mark,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire))
+        continue;
+      Fresh->Next.store(Succ, std::memory_order_relaxed);
+      uintptr_t Expected = toRaw(Victim);
+      if (Pos.PrevLink->compare_exchange_strong(Expected, toRaw(Fresh),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        Smr.retire(G, &Victim->Hdr);
+        return false;
+      }
+      // A helper unlinks (and retires) the marked victim; retry as an
+      // insert of the still-unpublished fresh node.
+      find(Smr, G, Head, K);
+    }
+  }
+};
+
+} // namespace lfsmr::ds
+
+#endif // LFSMR_DS_LIST_OPS_H

@@ -1,0 +1,153 @@
+//===- ds/ms_queue.h - Michael-Scott lock-free queue -------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Michael & Scott lock-free FIFO queue [PODC'96], included to back
+/// the paper's *generality* claim (Table 1: "supporting many data
+/// structures"): unlike the map-shaped benchmark structures, the queue
+/// retires its dummy head on every dequeue and exercises the schemes'
+/// protection on a two-pointer (Head/Tail) structure with helping.
+///
+/// The traversal discipline is HP-compatible: every pointer is read
+/// through `deref` from a protected source and re-validated against Head
+/// before use (Michael's own HP formulation of this queue).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_DS_MS_QUEUE_H
+#define LFSMR_DS_MS_QUEUE_H
+
+#include "ds/list_ops.h" // Value
+#include "smr/smr.h"
+#include "support/align.h"
+
+#include <atomic>
+#include <cassert>
+#include <optional>
+
+namespace lfsmr::ds {
+
+/// Michael-Scott queue of 64-bit values, generic over the SMR scheme.
+template <typename S> class MSQueue {
+public:
+  struct Node {
+    typename S::NodeHeader Hdr;
+    Value V;
+    std::atomic<Node *> Next;
+
+    explicit Node(Value V) : Hdr(), V(V), Next(nullptr) {}
+  };
+
+  explicit MSQueue(const smr::Config &C) : Smr(C, &deleteNode, nullptr) {
+    // The initial dummy goes through initNode like any other node so the
+    // schemes' accounting and era stamping stay uniform.
+    auto G = Smr.enter(0);
+    Node *Dummy = new Node(0);
+    Smr.initNode(G, &Dummy->Hdr);
+    Head.store(Dummy, std::memory_order_relaxed);
+    Tail.store(Dummy, std::memory_order_relaxed);
+    Smr.leave(G);
+  }
+
+  /// Drains remaining nodes; concurrent access must have ceased.
+  ~MSQueue() {
+    Node *N = Head.load(std::memory_order_relaxed);
+    while (N) {
+      Node *Next = N->Next.load(std::memory_order_relaxed);
+      delete N;
+      N = Next;
+    }
+  }
+
+  MSQueue(const MSQueue &) = delete;
+  MSQueue &operator=(const MSQueue &) = delete;
+
+  /// Appends \p V; lock-free with tail helping.
+  void enqueue(smr::ThreadId Tid, Value V) {
+    auto G = Smr.enter(Tid);
+    Node *Fresh = new Node(V);
+    Smr.initNode(G, &Fresh->Hdr);
+    while (true) {
+      Node *T = Smr.deref(G, Tail, 0);
+      Node *Next = Smr.deref(G, T->Next, 1);
+      if (T != Tail.load(std::memory_order_acquire))
+        continue; // tail moved while we were looking
+      if (Next) {
+        // Help swing the lagging tail, then retry.
+        Tail.compare_exchange_strong(T, Next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+        continue;
+      }
+      Node *Null = nullptr;
+      if (T->Next.compare_exchange_strong(Null, Fresh,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        Tail.compare_exchange_strong(T, Fresh, std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+        break;
+      }
+    }
+    Smr.leave(G);
+  }
+
+  /// Removes and returns the oldest value, or nullopt when empty. The
+  /// outgoing dummy node is retired (the value's node becomes the new
+  /// dummy — the M&S ownership transfer).
+  std::optional<Value> dequeue(smr::ThreadId Tid) {
+    auto G = Smr.enter(Tid);
+    std::optional<Value> Result;
+    while (true) {
+      Node *H = Smr.deref(G, Head, 0);
+      Node *T = Tail.load(std::memory_order_acquire);
+      Node *Next = Smr.deref(G, H->Next, 1);
+      if (H != Head.load(std::memory_order_acquire))
+        continue; // head moved: Next may belong to a recycled node
+      if (!Next)
+        break; // empty
+      if (H == T) {
+        // Tail lags behind a non-empty queue: help it forward.
+        Tail.compare_exchange_strong(T, Next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+        continue;
+      }
+      // Read the value before the CAS: afterwards another dequeuer may
+      // already be retiring Next's predecessor role.
+      const Value V = Next->V;
+      if (Head.compare_exchange_strong(H, Next, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        Smr.retire(G, &H->Hdr);
+        Result = V;
+        break;
+      }
+    }
+    Smr.leave(G);
+    return Result;
+  }
+
+  /// True when the queue holds no values (racy under concurrency; exact
+  /// at quiescence).
+  bool empty() const {
+    const Node *H = Head.load(std::memory_order_acquire);
+    return H->Next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// The underlying reclamation scheme (for counters and tests).
+  S &smr() { return Smr; }
+  const S &smr() const { return Smr; }
+
+private:
+  static void deleteNode(void *Hdr, void * /*Ctx*/) {
+    delete static_cast<Node *>(Hdr);
+  }
+
+  S Smr;
+  alignas(CacheLineSize) std::atomic<Node *> Head;
+  alignas(CacheLineSize) std::atomic<Node *> Tail;
+};
+
+} // namespace lfsmr::ds
+
+#endif // LFSMR_DS_MS_QUEUE_H

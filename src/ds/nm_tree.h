@@ -1,0 +1,434 @@
+//===- ds/nm_tree.h - Natarajan-Mittal lock-free BST -------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The external (leaf-oriented) lock-free binary search tree of Natarajan
+/// and Mittal [PPoPP'14], used in the paper's evaluation (Figures 11c/11f,
+/// 12c/12f). Deletions operate on *edges*: the edge to the victim leaf is
+/// FLAGged, the sibling edge is TAGged, and one CAS at the ancestor swings
+/// the subtree past the removed pair. Internal keys are routing-only.
+///
+/// Reclamation protocol: the thread whose *swing* CAS at the ancestor
+/// succeeds is the only one that detached anything, so it retires the
+/// entire detached set: the internal chain from successor to parent and
+/// the flagged victim leaf hanging off each chain node. (Retiring by the
+/// *injecting* thread instead would double-retire a parent whose two leaf
+/// children are deleted concurrently — the swing that removes the parent
+/// carries the second victim's FLAG to the new edge, and both deleters
+/// would claim the same parent.)
+///
+/// Hazard-slot discipline: seek keeps the five live roles (ancestor,
+/// successor, parent, leaf, current) protected in distinct slots drawn
+/// from a six-slot pool, releasing a slot only when its node leaves every
+/// role. Note the known caveat shared by all HP-style schemes on this
+/// tree (and by the benchmark suite the paper builds on): a node reached
+/// through an already-removed chain can in principle be retired between
+/// the load and the hazard publication, because removed nodes' child
+/// pointers no longer change and therefore revalidate successfully. The
+/// era-based schemes (IBR, Hyaline-S/1S) do not have this window.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_DS_NM_TREE_H
+#define LFSMR_DS_NM_TREE_H
+
+#include "ds/list_ops.h" // Key/Value
+#include "smr/smr.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+
+namespace lfsmr::ds {
+
+/// Natarajan-Mittal external BST, generic over the SMR scheme \p S.
+template <typename S> class NMTree {
+public:
+  /// Largest key usable by clients; greater keys are sentinels.
+  static constexpr Key MaxKey = UINT64_MAX - 3;
+
+  struct Node {
+    typename S::NodeHeader Hdr;
+    Key K;
+    Value V;
+    std::atomic<uintptr_t> Left;
+    std::atomic<uintptr_t> Right;
+
+    Node(Key K, Value V) : Hdr(), K(K), V(V), Left(0), Right(0) {}
+  };
+
+  using Guard = typename S::Guard;
+
+  explicit NMTree(const smr::Config &C) : Smr(C, &deleteNode, nullptr) {
+    // Sentinel structure (NM Figure 2): R(inf2) -> {S(inf1), leaf(inf2)},
+    // S(inf1) -> {leaf(inf0), leaf(inf1)}. User keys < inf0 always route
+    // into S's left subtree; the sentinels are never flagged or removed.
+    R = new Node(Inf2, 0);
+    SNode = new Node(Inf1, 0);
+    R->Left.store(toRaw(SNode), std::memory_order_relaxed);
+    R->Right.store(toRaw(new Node(Inf2, 0)), std::memory_order_relaxed);
+    SNode->Left.store(toRaw(new Node(Inf0, 0)), std::memory_order_relaxed);
+    SNode->Right.store(toRaw(new Node(Inf1, 0)), std::memory_order_relaxed);
+  }
+
+  /// Recursively frees the remaining tree; concurrent access must have
+  /// ceased.
+  ~NMTree() {
+    destroy(toNode(R->Left.load(std::memory_order_relaxed)));
+    destroy(toNode(R->Right.load(std::memory_order_relaxed)));
+    delete R;
+  }
+
+  NMTree(const NMTree &) = delete;
+  NMTree &operator=(const NMTree &) = delete;
+
+  /// Inserts (K, V); returns false if K is already present.
+  bool insert(smr::ThreadId Tid, Key K, Value V) {
+    assert(K <= MaxKey && "key collides with sentinel space");
+    auto G = Smr.enter(Tid);
+    const bool Ok = insertImpl(G, K, V);
+    Smr.leave(G);
+    return Ok;
+  }
+
+  /// Removes K; returns false if absent.
+  bool remove(smr::ThreadId Tid, Key K) {
+    assert(K <= MaxKey && "key collides with sentinel space");
+    auto G = Smr.enter(Tid);
+    const bool Ok = removeImpl(G, K);
+    Smr.leave(G);
+    return Ok;
+  }
+
+  /// Returns the value mapped to K, if any.
+  std::optional<Value> get(smr::ThreadId Tid, Key K) {
+    assert(K <= MaxKey && "key collides with sentinel space");
+    auto G = Smr.enter(Tid);
+    SeekRecord SR;
+    seek(G, K, SR);
+    std::optional<Value> Result;
+    if (SR.Leaf->K == K)
+      Result = SR.Leaf->V;
+    Smr.leave(G);
+    return Result;
+  }
+
+  /// Insert-or-replace. An existing binding is replaced by swinging the
+  /// parent's (clean) edge from the old leaf to a fresh one, retiring the
+  /// old leaf. Returns true if K was newly inserted.
+  bool put(smr::ThreadId Tid, Key K, Value V) {
+    assert(K <= MaxKey && "key collides with sentinel space");
+    auto G = Smr.enter(Tid);
+    const bool Inserted = putImpl(G, K, V);
+    Smr.leave(G);
+    return Inserted;
+  }
+
+  /// The underlying reclamation scheme (for counters and tests).
+  S &smr() { return Smr; }
+  const S &smr() const { return Smr; }
+
+private:
+  static constexpr Key Inf0 = UINT64_MAX - 2;
+  static constexpr Key Inf1 = UINT64_MAX - 1;
+  static constexpr Key Inf2 = UINT64_MAX;
+
+  /// Edge bits: FLAG marks the edge to a leaf under deletion, TAG freezes
+  /// a sibling edge during cleanup.
+  static constexpr uintptr_t Flag = 1;
+  static constexpr uintptr_t Tag = 2;
+  static constexpr uintptr_t BitsMask = Flag | Tag;
+
+  static constexpr unsigned NoSlot = ~0u;
+
+  static Node *toNode(uintptr_t Raw) {
+    return reinterpret_cast<Node *>(Raw & ~BitsMask);
+  }
+  static uintptr_t toRaw(Node *N) { return reinterpret_cast<uintptr_t>(N); }
+
+  static void deleteNode(void *Hdr, void * /*Ctx*/) {
+    delete static_cast<Node *>(Hdr);
+  }
+
+  static void destroy(Node *N) {
+    if (!N)
+      return;
+    destroy(toNode(N->Left.load(std::memory_order_relaxed)));
+    destroy(toNode(N->Right.load(std::memory_order_relaxed)));
+    delete N;
+  }
+
+  /// NM seek record: the last untagged edge's endpoints (ancestor,
+  /// successor) and the final (parent, leaf) pair, with the hazard slot
+  /// protecting each role (NoSlot for the static sentinels).
+  struct SeekRecord {
+    Node *Ancestor;
+    Node *Successor;
+    Node *Parent;
+    Node *Leaf;
+    unsigned SlotAnc, SlotSucc, SlotPar, SlotLeaf;
+  };
+
+  std::atomic<uintptr_t> &childLink(Node *N, Key K) {
+    return K < N->K ? N->Left : N->Right;
+  }
+
+  /// NM's seek (their Figure 4): walks to the unique leaf on K's search
+  /// path, recording the last untagged edge. Hazard slots are drawn from
+  /// a six-slot pool and released only when a node leaves all roles, so
+  /// HP/HE protections are never clobbered while still needed.
+  void seek(Guard &G, Key K, SeekRecord &SR) {
+    uint8_t Used = 0; // bitmask over slots 0..5
+    const auto Alloc = [&Used]() -> unsigned {
+      for (unsigned I = 0; I < 6; ++I)
+        if (!(Used & (1u << I))) {
+          Used |= 1u << I;
+          return I;
+        }
+      assert(false && "seek role bookkeeping leaked all six slots");
+      return 0;
+    };
+
+    SR.Ancestor = R;
+    SR.Successor = SNode;
+    SR.Parent = SNode;
+    SR.SlotAnc = SR.SlotSucc = SR.SlotPar = NoSlot;
+
+    SR.SlotLeaf = Alloc();
+    uintptr_t ParentField = Smr.derefLink(G, SNode->Left, SR.SlotLeaf);
+    SR.Leaf = toNode(ParentField);
+
+    while (true) {
+      const unsigned SlotCur = Alloc();
+      const uintptr_t CurrentField =
+          Smr.derefLink(G, childLink(SR.Leaf, K), SlotCur);
+      Node *Current = toNode(CurrentField);
+      if (!Current) {
+        Used &= ~(1u << SlotCur);
+        return; // SR.Leaf is the leaf on K's search path
+      }
+      // Advance one level, moving (ancestor, successor) down to
+      // (parent, leaf) if the edge we came through was untagged.
+      const unsigned OldSlots[5] = {SR.SlotAnc, SR.SlotSucc, SR.SlotPar,
+                                    SR.SlotLeaf, SlotCur};
+      if (!(ParentField & Tag)) {
+        SR.Ancestor = SR.Parent;
+        SR.SlotAnc = SR.SlotPar;
+        SR.Successor = SR.Leaf;
+        SR.SlotSucc = SR.SlotLeaf;
+      }
+      SR.Parent = SR.Leaf;
+      SR.SlotPar = SR.SlotLeaf;
+      SR.Leaf = Current;
+      SR.SlotLeaf = SlotCur;
+      // Release slots that no longer protect any live role.
+      const unsigned NewSlots[4] = {SR.SlotAnc, SR.SlotSucc, SR.SlotPar,
+                                    SR.SlotLeaf};
+      for (unsigned OldS : OldSlots) {
+        if (OldS == NoSlot)
+          continue;
+        bool Live = false;
+        for (unsigned NewS : NewSlots)
+          Live |= (NewS == OldS);
+        if (!Live)
+          Used &= ~(1u << OldS);
+      }
+      ParentField = CurrentField;
+    }
+  }
+
+  /// NM's cleanup (their Figure 7): given a seek record whose parent has a
+  /// flagged child edge, tags the sibling edge and swings the ancestor's
+  /// edge past the (successor..parent, victim) chain. Returns true iff
+  /// this call's CAS performed the removal; in that case every detached
+  /// node has been retired here.
+  bool cleanup(Guard &G, Key K, SeekRecord &SR) {
+    Node *Ancestor = SR.Ancestor;
+    Node *Parent = SR.Parent;
+
+    std::atomic<uintptr_t> &AncLink = childLink(Ancestor, K);
+    std::atomic<uintptr_t> *LeafLink = &childLink(Parent, K);
+    std::atomic<uintptr_t> *SibLink =
+        (LeafLink == &Parent->Left) ? &Parent->Right : &Parent->Left;
+
+    // If the edge to "our" leaf is not flagged, the pending deletion is of
+    // the sibling leaf (we are helping someone else): swap the roles.
+    if (!(LeafLink->load(std::memory_order_acquire) & Flag))
+      SibLink = LeafLink;
+
+    // Freeze the surviving edge so its target cannot change mid-swing.
+    const uintptr_t SibField =
+        SibLink->fetch_or(Tag, std::memory_order_acq_rel) | Tag;
+
+    // Swing: ancestor's edge from the (clean) successor to the sibling
+    // subtree, preserving a pending FLAG on the sibling edge so that
+    // deletion can continue at its new position.
+    uintptr_t Expected = toRaw(SR.Successor);
+    const uintptr_t Replacement = (SibField & ~BitsMask) | (SibField & Flag);
+    if (!AncLink.compare_exchange_strong(Expected, Replacement,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+      return false;
+
+    // We detached the chain successor -> ... -> parent (every edge frozen
+    // before the swing), plus one flagged victim leaf per chain node.
+    // Retire all of it; we are the only thread that can (a second swing
+    // on the same chain is impossible: the ancestor edge changed).
+    Node *Cur = SR.Successor;
+    while (Cur != Parent) {
+      // Cur's child toward K continues the chain; its other child is the
+      // flagged victim leaf of the deletion that tagged this chain edge.
+      std::atomic<uintptr_t> &Down = childLink(Cur, K);
+      std::atomic<uintptr_t> &Off =
+          (&Down == &Cur->Left) ? Cur->Right : Cur->Left;
+      Smr.retire(G, &toNode(Off.load(std::memory_order_acquire))->Hdr);
+      Node *Next = toNode(Down.load(std::memory_order_acquire));
+      Smr.retire(G, &Cur->Hdr);
+      Cur = Next;
+    }
+    // At the parent: the survivor side was reattached above; the other
+    // side is the removed victim leaf.
+    std::atomic<uintptr_t> &VictimLink =
+        (SibLink == &Parent->Left) ? Parent->Right : Parent->Left;
+    Smr.retire(G, &toNode(VictimLink.load(std::memory_order_acquire))->Hdr);
+    Smr.retire(G, &Parent->Hdr);
+    return true;
+  }
+
+  bool insertImpl(Guard &G, Key K, Value V) {
+    Node *FreshLeaf = nullptr;
+    Node *FreshInternal = nullptr;
+    while (true) {
+      SeekRecord SR;
+      seek(G, K, SR);
+      Node *Leaf = SR.Leaf;
+      if (Leaf->K == K) {
+        if (FreshLeaf) {
+          Smr.discard(&FreshLeaf->Hdr);
+          Smr.discard(&FreshInternal->Hdr);
+        }
+        return false;
+      }
+      if (!FreshLeaf) {
+        FreshLeaf = new Node(K, V);
+        Smr.initNode(G, &FreshLeaf->Hdr);
+        FreshInternal = new Node(0, 0);
+        Smr.initNode(G, &FreshInternal->Hdr);
+      }
+      // Routing node: key = max of the two leaves, smaller key on the left.
+      FreshInternal->K = std::max(K, Leaf->K);
+      Node *L = (K < Leaf->K) ? FreshLeaf : Leaf;
+      Node *Rt = (K < Leaf->K) ? Leaf : FreshLeaf;
+      FreshInternal->Left.store(toRaw(L), std::memory_order_relaxed);
+      FreshInternal->Right.store(toRaw(Rt), std::memory_order_relaxed);
+
+      std::atomic<uintptr_t> &Link = childLink(SR.Parent, K);
+      uintptr_t Expected = toRaw(Leaf);
+      if (Link.compare_exchange_strong(Expected, toRaw(FreshInternal),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        return true;
+      // Failed because the edge changed. If it still points at the leaf
+      // but carries deletion bits, help the deletion along (NM insert's
+      // helping step), then retry.
+      if (toNode(Expected) == Leaf && (Expected & BitsMask))
+        cleanup(G, K, SR);
+    }
+  }
+
+  bool putImpl(Guard &G, Key K, Value V) {
+    Node *FreshLeaf = nullptr;
+    Node *FreshInternal = nullptr;
+    while (true) {
+      SeekRecord SR;
+      seek(G, K, SR);
+      Node *Leaf = SR.Leaf;
+      if (!FreshLeaf) {
+        FreshLeaf = new Node(K, V);
+        Smr.initNode(G, &FreshLeaf->Hdr);
+      }
+      std::atomic<uintptr_t> &Link = childLink(SR.Parent, K);
+      if (Leaf->K == K) {
+        // Replace: swing the clean parent edge to the fresh leaf.
+        uintptr_t Expected = toRaw(Leaf);
+        if (Link.compare_exchange_strong(Expected, toRaw(FreshLeaf),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          Smr.retire(G, &Leaf->Hdr);
+          if (FreshInternal)
+            Smr.discard(&FreshInternal->Hdr);
+          return false;
+        }
+        if (toNode(Expected) == Leaf && (Expected & BitsMask))
+          cleanup(G, K, SR); // a deletion got there first: help it
+        continue;
+      }
+      // Absent: regular insert of (internal, leaf) pair.
+      if (!FreshInternal) {
+        FreshInternal = new Node(0, 0);
+        Smr.initNode(G, &FreshInternal->Hdr);
+      }
+      FreshInternal->K = std::max(K, Leaf->K);
+      Node *L = (K < Leaf->K) ? FreshLeaf : Leaf;
+      Node *Rt = (K < Leaf->K) ? Leaf : FreshLeaf;
+      FreshInternal->Left.store(toRaw(L), std::memory_order_relaxed);
+      FreshInternal->Right.store(toRaw(Rt), std::memory_order_relaxed);
+      uintptr_t Expected = toRaw(Leaf);
+      if (Link.compare_exchange_strong(Expected, toRaw(FreshInternal),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire))
+        return true;
+      if (toNode(Expected) == Leaf && (Expected & BitsMask))
+        cleanup(G, K, SR);
+    }
+  }
+
+  bool removeImpl(Guard &G, Key K) {
+    bool Injected = false;
+    Node *Leaf = nullptr;
+    while (true) {
+      SeekRecord SR;
+      seek(G, K, SR);
+      if (!Injected) {
+        Leaf = SR.Leaf;
+        if (Leaf->K != K)
+          return false;
+        std::atomic<uintptr_t> &Link = childLink(SR.Parent, K);
+        uintptr_t Expected = toRaw(Leaf);
+        if (Link.compare_exchange_strong(Expected, toRaw(Leaf) | Flag,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+          // Injection succeeded: the leaf is logically deleted and its
+          // edge frozen; now ensure it is physically detached (a
+          // successful swing retires it — ours or a helper's).
+          Injected = true;
+          if (cleanup(G, K, SR))
+            return true;
+          continue;
+        }
+        // Someone beat us: help if a deletion is pending on this edge.
+        if (toNode(Expected) == Leaf && (Expected & BitsMask))
+          cleanup(G, K, SR);
+        continue;
+      }
+      // Our leaf's position is frozen by the flag, so if seek no longer
+      // reaches it, a helper's swing already detached and retired it.
+      if (SR.Leaf != Leaf)
+        return true;
+      if (cleanup(G, K, SR))
+        return true;
+    }
+  }
+
+  S Smr;
+  Node *R;     ///< root sentinel (key inf2)
+  Node *SNode; ///< child sentinel (key inf1)
+};
+
+} // namespace lfsmr::ds
+
+#endif // LFSMR_DS_NM_TREE_H

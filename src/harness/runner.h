@@ -1,0 +1,133 @@
+//===- harness/runner.h - Timed multithreaded driver -------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives one (data structure x scheme x mix x thread count) data point:
+/// prefill, barrier-synchronized timed run, throughput and unreclaimed-
+/// object sampling. The sampling reproduces Figure 12's metric: the
+/// retired-but-not-yet-reclaimed object count observed at regular
+/// intervals during the run, averaged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_HARNESS_RUNNER_H
+#define LFSMR_HARNESS_RUNNER_H
+
+#include "harness/workload.h"
+#include "support/barrier.h"
+#include "support/mem_counter.h"
+#include "support/random.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace lfsmr::harness {
+
+/// One measured data point.
+struct RunResult {
+  double Mops = 0;            ///< throughput, million operations/second
+  double AvgUnreclaimed = 0;  ///< mean retired-not-yet-freed objects
+  uint64_t TotalOps = 0;      ///< raw operation count
+  int64_t PeakUnreclaimed = 0;///< max sampled unreclaimed count
+};
+
+/// Inserts \p Count distinct keys drawn from [0, KeyRange) — the generic
+/// prefill used by the trees and the hash map. Runs on the calling thread
+/// with thread id 0. Returns the keys actually inserted.
+template <typename DS>
+void prefillGeneric(DS &Ds, uint64_t Count, uint64_t KeyRange,
+                    uint64_t Seed) {
+  // A shuffled permutation of the key space gives exactly Count distinct
+  // keys, matching the paper's "prefilled with 50,000 elements".
+  std::vector<uint64_t> Keys(KeyRange);
+  for (uint64_t I = 0; I < KeyRange; ++I)
+    Keys[I] = I;
+  Xoshiro256 Rng(Seed);
+  for (uint64_t I = KeyRange - 1; I > 0; --I)
+    std::swap(Keys[I], Keys[Rng.nextBounded(I + 1)]);
+  Keys.resize(Count);
+  for (uint64_t K : Keys)
+    Ds.insert(/*Tid=*/0, K, /*V=*/K + 1);
+}
+
+/// Runs the timed mixed workload over \p Ds with \p Threads worker
+/// threads. \p Ds must already be prefilled.
+template <typename DS>
+RunResult runMeasured(DS &Ds, const WorkloadMix &Mix,
+                      const WorkloadParams &P, unsigned Threads) {
+  SpinBarrier Barrier(Threads + 1);
+  std::atomic<bool> Stop{false};
+  std::vector<uint64_t> Ops(Threads, 0);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      Xoshiro256 Rng(P.Seed + 0x1000 + T);
+      Barrier.arriveAndWait();
+      uint64_t Local = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        // Check the stop flag only every few operations; a relaxed load
+        // per op would still be cheap, but batching keeps the loop tight.
+        for (unsigned I = 0; I < 64; ++I) {
+          const uint64_t K = Rng.nextBounded(P.KeyRange);
+          const uint64_t Dice = Rng.nextBounded(100);
+          if (Dice < Mix.GetPct)
+            Ds.get(T, K);
+          else if (Dice < Mix.GetPct + Mix.PutPct)
+            Ds.put(T, K, K + 1);
+          else if (Dice < Mix.GetPct + Mix.PutPct + Mix.InsertPct)
+            Ds.insert(T, K, K + 1);
+          else
+            Ds.remove(T, K);
+          ++Local;
+        }
+      }
+      Ops[T] = Local;
+    });
+  }
+
+  Barrier.arriveAndWait();
+  const auto Begin = std::chrono::steady_clock::now();
+  const auto Deadline =
+      Begin + std::chrono::duration<double>(P.DurationSec);
+
+  // Sample the Figure 12 metric while the workers run.
+  const MemCounter &MC = Ds.smr().memCounter();
+  double SumUnreclaimed = 0;
+  int64_t PeakUnreclaimed = 0;
+  uint64_t Samples = 0;
+  while (std::chrono::steady_clock::now() < Deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const int64_t U = MC.unreclaimed();
+    SumUnreclaimed += static_cast<double>(U);
+    if (U > PeakUnreclaimed)
+      PeakUnreclaimed = U;
+    ++Samples;
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &W : Workers)
+    W.join();
+  const double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Begin)
+          .count();
+
+  RunResult R;
+  for (uint64_t O : Ops)
+    R.TotalOps += O;
+  R.Mops = static_cast<double>(R.TotalOps) / Elapsed / 1e6;
+  R.AvgUnreclaimed = Samples ? SumUnreclaimed / static_cast<double>(Samples)
+                             : static_cast<double>(MC.unreclaimed());
+  R.PeakUnreclaimed = PeakUnreclaimed;
+  return R;
+}
+
+} // namespace lfsmr::harness
+
+#endif // LFSMR_HARNESS_RUNNER_H

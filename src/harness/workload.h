@@ -1,0 +1,53 @@
+//===- harness/workload.h - Benchmark workload definitions -------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's two workload mixes (Section 6):
+///  - write-intensive: 50% insert / 50% delete, stressing reclamation;
+///  - read-dominated: 90% get / 10% put, the unbalanced-reclamation case.
+/// Keys are uniform in [0, 100000); structures are prefilled with 50,000
+/// elements; each data point runs for a fixed wall-clock interval and is
+/// averaged over repeats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_HARNESS_WORKLOAD_H
+#define LFSMR_HARNESS_WORKLOAD_H
+
+#include <cstdint>
+
+namespace lfsmr::harness {
+
+/// Percentages of each operation in the mix; must sum to 100.
+/// `put` is insert-or-replace: replacing retires the old binding, which
+/// is what makes the read-dominated mix a *reclamation-unbalanced*
+/// workload (few writers retire while many readers only observe).
+struct WorkloadMix {
+  unsigned GetPct;
+  unsigned PutPct;
+  unsigned InsertPct;
+  unsigned RemovePct;
+  const char *Name;
+};
+
+/// 50% insert, 50% delete (the paper's "write" workload).
+inline constexpr WorkloadMix WriteMix{0, 0, 50, 50, "write"};
+
+/// 90% get, 10% put (the paper's "read" workload).
+inline constexpr WorkloadMix ReadMix{90, 10, 0, 0, "read"};
+
+/// Shared experiment constants (paper Section 6).
+struct WorkloadParams {
+  uint64_t KeyRange = 100000; ///< keys drawn uniformly from [0, KeyRange)
+  uint64_t Prefill = 50000;   ///< elements inserted before measurement
+  double DurationSec = 0.3;   ///< measured interval per data point
+  unsigned Repeats = 1;       ///< repetitions averaged per data point
+  uint64_t Seed = 0x5eed;     ///< base PRNG seed (per-thread streams)
+};
+
+} // namespace lfsmr::harness
+
+#endif // LFSMR_HARNESS_WORKLOAD_H

@@ -1,0 +1,125 @@
+//===- smr/he.h - Hazard eras ------------------------------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hazard eras [Ramalhete & Correia, SPAA 2017]: HP's API with epochs.
+/// Each node records the global era at allocation (birth era) and at
+/// retirement (retire era); each dereference reserves the current era in an
+/// indexed per-thread slot. A node may be freed when no reserved era falls
+/// inside its [birth, retire] lifetime interval.
+///
+/// Like HP this build uses the paper's optimized scan (Section 6): one
+/// sorted snapshot of all era reservations per sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SMR_HE_H
+#define LFSMR_SMR_HE_H
+
+#include "smr/retired_list.h"
+#include "smr/smr.h"
+#include "support/align.h"
+#include "support/mem_counter.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lfsmr::smr {
+
+/// Hazard-era reclamation.
+class HE {
+public:
+  /// Per-node state (paper Table 1: 3 words on 64-bit).
+  struct NodeHeader {
+    NodeHeader *Next;
+    uint64_t BirthEra;
+    uint64_t RetireEra;
+  };
+
+  struct Guard {
+    ThreadId Tid;
+    unsigned UsedHazards;
+  };
+
+  HE(const Config &C, Deleter Free, void *FreeCtx);
+  ~HE();
+
+  HE(const HE &) = delete;
+  HE &operator=(const HE &) = delete;
+
+  Guard enter(ThreadId Tid);
+
+  /// Clears the era reservations the operation used.
+  void leave(Guard &G);
+
+  /// Era-reserving protected read into reservation slot \p Idx.
+  template <typename T>
+  T *deref(Guard &G, const std::atomic<T *> &Src, unsigned Idx) {
+    return reinterpret_cast<T *>(protect(
+        G, reinterpret_cast<const std::atomic<uintptr_t> &>(Src), Idx));
+  }
+
+  /// \copydoc HP::derefLink
+  uintptr_t derefLink(Guard &G, const std::atomic<uintptr_t> &Src,
+                      unsigned Idx) {
+    return protect(G, Src, Idx);
+  }
+
+  /// Stamps the node's birth era and advances the era clock every
+  /// `EpochFreq` allocations.
+  void initNode(Guard &G, NodeHeader *Node);
+
+  /// Stamps the retire era, appends to the thread's retired list, sweeps
+  /// once the list is long enough.
+  void retire(Guard &G, NodeHeader *Node);
+
+  /// Frees a node that was never published into any shared structure
+  /// (e.g. a speculative copy discarded after a failed CAS).
+  void discard(NodeHeader *Node) {
+    Free(Node, FreeCtx);
+    // Counted as an (instant) retire+free so the accounting
+    // invariant "live == allocated - retired" holds for tests.
+    Counter.onRetire();
+    Counter.onFree();
+  }
+
+  /// Accounting for this scheme instance.
+  const MemCounter &memCounter() const { return Counter; }
+
+  /// Current era clock (exposed for tests).
+  uint64_t currentEra() const {
+    return GlobalEra.load(std::memory_order_acquire);
+  }
+
+private:
+  static constexpr uint64_t NoEra = UINT64_MAX;
+
+  struct PerThread {
+    std::unique_ptr<std::atomic<uint64_t>[]> Reservations;
+    RetiredList<NodeHeader> Retired;
+    uint64_t AllocCount = 0;
+    std::vector<uint64_t> Scratch;
+  };
+
+  uintptr_t protect(Guard &G, const std::atomic<uintptr_t> &Src,
+                    unsigned Idx);
+  void sweep(ThreadId Tid);
+
+  const Config Cfg;
+  const Deleter Free;
+  void *const FreeCtx;
+  MemCounter Counter;
+
+  /// Starts at 1 so a zero-initialized reservation can never protect.
+  alignas(CacheLineSize) std::atomic<uint64_t> GlobalEra{1};
+  std::unique_ptr<CachePadded<PerThread>[]> Threads;
+};
+
+} // namespace lfsmr::smr
+
+#endif // LFSMR_SMR_HE_H

@@ -1,0 +1,124 @@
+//===- smr/hp.h - Hazard pointers --------------------------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hazard pointers [Michael, TPDS 2004], the paper's memory-efficiency
+/// baseline. Every dereference publishes the target address in a
+/// per-thread hazard slot and re-validates the source, which makes reads
+/// expensive (a sequentially-consistent store per pointer access) but
+/// bounds unreclaimed memory even under stalled threads (robust).
+///
+/// This is the paper's *optimized* HP (Section 6): reclamation scans take
+/// a sorted snapshot of all hazard slots once and binary-search it per
+/// retired node, instead of rescanning the global array per node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SMR_HP_H
+#define LFSMR_SMR_HP_H
+
+#include "smr/retired_list.h"
+#include "smr/smr.h"
+#include "support/align.h"
+#include "support/mem_counter.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lfsmr::smr {
+
+/// Hazard-pointer reclamation.
+class HP {
+public:
+  /// Per-node state: just the retired-list link (paper Table 1: 1 word).
+  struct NodeHeader {
+    NodeHeader *Next;
+  };
+
+  /// Tracks the highest protection index used so leave() only clears the
+  /// slots this operation touched.
+  struct Guard {
+    ThreadId Tid;
+    unsigned UsedHazards;
+  };
+
+  HP(const Config &C, Deleter Free, void *FreeCtx);
+
+  /// Frees all remaining retired nodes. Requires quiescence.
+  ~HP();
+
+  HP(const HP &) = delete;
+  HP &operator=(const HP &) = delete;
+
+  Guard enter(ThreadId Tid);
+
+  /// Clears every hazard slot the operation used.
+  void leave(Guard &G);
+
+  /// Publish-and-validate protected read into hazard slot \p Idx.
+  template <typename T>
+  T *deref(Guard &G, const std::atomic<T *> &Src, unsigned Idx) {
+    return reinterpret_cast<T *>(protect(
+        G, reinterpret_cast<const std::atomic<uintptr_t> &>(Src), Idx));
+  }
+
+  /// Tagged-link variant: protects the node address with low tag bits
+  /// masked off, returns the raw (tagged) word.
+  uintptr_t derefLink(Guard &G, const std::atomic<uintptr_t> &Src,
+                      unsigned Idx) {
+    return protect(G, Src, Idx);
+  }
+
+  /// Counts the allocation; HP stamps nothing at allocation time.
+  void initNode(Guard &, NodeHeader *) { Counter.onAlloc(); }
+
+  /// Adds \p Node to the calling thread's retired list and, once the list
+  /// is long enough, scans hazards and frees unprotected nodes.
+  void retire(Guard &G, NodeHeader *Node);
+
+  /// Frees a node that was never published into any shared structure
+  /// (e.g. a speculative copy discarded after a failed CAS).
+  void discard(NodeHeader *Node) {
+    Free(Node, FreeCtx);
+    // Counted as an (instant) retire+free so the accounting
+    // invariant "live == allocated - retired" holds for tests.
+    Counter.onRetire();
+    Counter.onFree();
+  }
+
+  /// Accounting for this scheme instance.
+  const MemCounter &memCounter() const { return Counter; }
+
+private:
+  /// Low bits of link words that carry data-structure marks, never address.
+  static constexpr uintptr_t TagMask = 7;
+
+  struct PerThread {
+    std::unique_ptr<std::atomic<uintptr_t>[]> Hazards;
+    RetiredList<NodeHeader> Retired;
+    std::vector<uintptr_t> Scratch; ///< reusable snapshot buffer
+  };
+
+  uintptr_t protect(Guard &G, const std::atomic<uintptr_t> &Src,
+                    unsigned Idx);
+
+  /// Snapshot all hazard slots, then free every retired node of \p Tid
+  /// whose address is absent from the snapshot.
+  void sweep(ThreadId Tid);
+
+  const Config Cfg;
+  const Deleter Free;
+  void *const FreeCtx;
+  MemCounter Counter;
+
+  std::unique_ptr<CachePadded<PerThread>[]> Threads;
+};
+
+} // namespace lfsmr::smr
+
+#endif // LFSMR_SMR_HP_H

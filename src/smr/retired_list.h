@@ -1,0 +1,77 @@
+//===- smr/retired_list.h - Per-thread retired-node list --------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intrusive singly-linked list of retired-but-not-yet-freed nodes, used by
+/// the baseline schemes (EBR, HP, HE, IBR). Each of those schemes keeps one
+/// such list per thread and periodically "peruses" it (paper Section 2,
+/// "Reclamation Cost") to free nodes that are provably unreachable.
+///
+/// The Hyaline schemes do not use this: their reclamation is asynchronous
+/// and list traversal happens exactly once per node (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SMR_RETIRED_LIST_H
+#define LFSMR_SMR_RETIRED_LIST_H
+
+#include <cassert>
+#include <cstddef>
+
+namespace lfsmr::smr {
+
+/// A LIFO list of retired nodes, intrusive through `H::Next`.
+/// \tparam H a scheme NodeHeader with a `H *Next` member.
+template <typename H> class RetiredList {
+public:
+  /// Pushes \p Node; O(1).
+  void push(H *Node) {
+    Node->Next = HeadNode;
+    HeadNode = Node;
+    ++Count;
+  }
+
+  /// Number of nodes currently held.
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Removes and returns all nodes, leaving the list empty. The caller
+  /// walks the chain via `Next`.
+  H *takeAll() {
+    H *All = HeadNode;
+    HeadNode = nullptr;
+    Count = 0;
+    return All;
+  }
+
+  /// Visits every node with \p Pred; nodes for which \p Pred returns true
+  /// are unlinked and handed to \p Free, the rest stay in the list.
+  template <typename PredFn, typename FreeFn>
+  std::size_t sweep(PredFn Pred, FreeFn Free) {
+    H **Link = &HeadNode;
+    std::size_t Freed = 0;
+    while (H *Node = *Link) {
+      if (!Pred(Node)) {
+        Link = &Node->Next;
+        continue;
+      }
+      *Link = Node->Next;
+      Free(Node);
+      ++Freed;
+    }
+    assert(Freed <= Count && "sweep freed more nodes than were retired");
+    Count -= Freed;
+    return Freed;
+  }
+
+private:
+  H *HeadNode = nullptr;
+  std::size_t Count = 0;
+};
+
+} // namespace lfsmr::smr
+
+#endif // LFSMR_SMR_RETIRED_LIST_H

@@ -1,0 +1,131 @@
+//===- smr/smr.h - Common SMR vocabulary -------------------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared vocabulary for all safe-memory-reclamation (SMR) schemes in this
+/// library: configuration, the deleter callback, and the compile-time
+/// interface contract every scheme satisfies.
+///
+/// The programming model follows the paper's API (Section 2, "API Model"):
+///
+/// \code
+///   auto G = Scheme.enter(Tid);            // begin an operation
+///   T *P  = Scheme.deref(G, Src, Idx);     // protected pointer read
+///   Scheme.retire(G, &Node->Hdr);          // after unlinking Node
+///   Scheme.leave(G);                       // end the operation
+/// \endcode
+///
+/// `deref` is required only by the robust schemes (Hyaline-S, Hyaline-1S,
+/// HP, HE, IBR); for the others it degenerates to a plain acquire load, so
+/// data structures are written once against the strictest contract.
+/// `Idx` names a per-operation protection slot and is consumed only by the
+/// pointer/era-index schemes (HP, HE); all others ignore it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SMR_SMR_H
+#define LFSMR_SMR_SMR_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfsmr::smr {
+
+/// Identifies a participating thread. The harness assigns dense ids
+/// 0..N-1. The Hyaline schemes only use it to pick a slot (transparency:
+/// ids above the slot count are folded), while the baseline schemes index
+/// per-thread state with it and require `Tid < Config::MaxThreads`.
+using ThreadId = unsigned;
+
+/// Frees one retired object. \p Node points at the scheme's NodeHeader,
+/// which data structures embed as their first member, so the callback can
+/// cast it back to the concrete node type. \p Ctx is the value registered
+/// with the scheme at construction.
+using Deleter = void (*)(void *Node, void *Ctx);
+
+/// Tuning knobs shared by all schemes. Defaults follow the paper's
+/// evaluation (Section 6).
+struct Config {
+  /// Capacity of per-thread state arrays in the baseline schemes and
+  /// Hyaline-1(-S). Threads must use ids below this.
+  unsigned MaxThreads = 192;
+
+  /// Number of Hyaline slots `k` (rounded up to a power of two).
+  /// 0 selects `nextPowerOfTwo(hardware_concurrency)` (the paper uses the
+  /// next power of two of the core count).
+  unsigned Slots = 0;
+
+  /// Minimum number of nodes accumulated into a Hyaline batch before it is
+  /// retired; the effective threshold is `max(MinBatch, k + 1)` because a
+  /// batch must carry one Next link per slot plus the NRef node.
+  unsigned MinBatch = 64;
+
+  /// `epochf`: epoch/era advance frequency (every EpochFreq retires for
+  /// EBR, every EpochFreq allocations for HE/IBR).
+  unsigned EpochFreq = 150;
+
+  /// `emptyf`: reclamation-attempt frequency (a scan is attempted once a
+  /// per-thread retired list holds this many nodes).
+  unsigned EmptyFreq = 120;
+
+  /// Per-thread protection slots for HP and HE.
+  unsigned NumHazards = 16;
+
+  /// Hyaline-S/1S `Freq`: the global era clock ticks once per this many
+  /// node allocations (per thread).
+  unsigned EraFreq = 150;
+
+  /// Hyaline-S `Threshold`: a slot whose Ack counter exceeds this is
+  /// considered occupied by stalled threads and is avoided by enter.
+  int64_t AckThreshold = 8192;
+};
+
+/// Convenience RAII wrapper pairing enter/leave around a scope.
+///
+/// The paper notes (Table 1 discussion) that the deref-based API "can be
+/// fully hidden using standard language idioms, such as smart pointers in
+/// C++" — unlike HP-style APIs, which force the programmer to assign
+/// indices and annotate last uses. Region is that idiom: construction
+/// enters, destruction leaves, and read() wraps deref so user code never
+/// names a protection slot.
+///
+/// \code
+///   smr::Region R(Scheme, Tid);
+///   Node *N = R.read(SharedPtr);   // protected for the Region's lifetime
+///   ...
+/// \endcode
+template <typename Scheme> class Region {
+public:
+  Region(Scheme &S, ThreadId Tid) : S(S), G(S.enter(Tid)) {}
+  ~Region() { S.leave(G); }
+
+  Region(const Region &) = delete;
+  Region &operator=(const Region &) = delete;
+
+  /// Protected pointer read; the result stays valid until the Region is
+  /// destroyed. Successive reads rotate protection slots automatically
+  /// for the index-based schemes (HP/HE), up to Config::NumHazards live
+  /// pointers per Region.
+  template <typename T> T *read(const std::atomic<T *> &Src) {
+    return S.deref(G, Src, NextIdx++ % 16);
+  }
+
+  /// Reclaim retired batches observed so far without closing the region
+  /// (forwards to the scheme's trim when it has one).
+  void trim() { S.trim(G); }
+
+  /// Access the underlying per-operation guard.
+  typename Scheme::Guard &guard() { return G; }
+
+private:
+  Scheme &S;
+  typename Scheme::Guard G;
+  unsigned NextIdx = 0;
+};
+
+} // namespace lfsmr::smr
+
+#endif // LFSMR_SMR_SMR_H

@@ -1,0 +1,78 @@
+//===- support/align.h - Cache-line alignment utilities --------*- C++ -*-===//
+//
+// Part of the lfsmr project, a reproduction of "Snapshot-Free, Transparent,
+// and Robust Memory Reclamation for Lock-Free Data Structures" (PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line size constants and a padded wrapper used to give each shared
+/// slot (Head tuple, era, ack counter) its own cache line, as assumed by the
+/// paper's contention analysis (Section 3.2, "Contention").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SUPPORT_ALIGN_H
+#define LFSMR_SUPPORT_ALIGN_H
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace lfsmr {
+
+/// Size of a destructive-interference-free block. Intel CPUs prefetch pairs
+/// of lines, so 128 bytes avoids adjacent-line false sharing.
+inline constexpr std::size_t CacheLineSize = 128;
+
+/// Wraps \p T so that distinct array elements never share a cache line.
+///
+/// Used for per-slot state (Heads, Accesses, Acks) so that CAS on one slot
+/// does not invalidate a neighbouring slot's line.
+template <typename T> struct alignas(CacheLineSize) CachePadded {
+  T Value;
+
+  CachePadded() = default;
+
+  template <typename... Args>
+  explicit CachePadded(Args &&...A) : Value(std::forward<Args>(A)...) {}
+
+  T &operator*() { return Value; }
+  const T &operator*() const { return Value; }
+  T *operator->() { return &Value; }
+  const T *operator->() const { return &Value; }
+};
+
+static_assert(sizeof(CachePadded<char>) == CacheLineSize,
+              "padding must round up to a full cache line");
+
+/// Returns \p N rounded up to the next power of two (minimum 1).
+constexpr std::size_t nextPowerOfTwo(std::size_t N) {
+  std::size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+static_assert(nextPowerOfTwo(0) == 1);
+static_assert(nextPowerOfTwo(1) == 1);
+static_assert(nextPowerOfTwo(3) == 4);
+static_assert(nextPowerOfTwo(24) == 32);
+static_assert(nextPowerOfTwo(128) == 128);
+
+/// Returns floor(log2(N)) for N > 0.
+constexpr unsigned floorLog2(std::size_t N) {
+  unsigned L = 0;
+  while (N >>= 1)
+    ++L;
+  return L;
+}
+
+static_assert(floorLog2(1) == 0);
+static_assert(floorLog2(2) == 1);
+static_assert(floorLog2(3) == 1);
+static_assert(floorLog2(64) == 6);
+
+} // namespace lfsmr
+
+#endif // LFSMR_SUPPORT_ALIGN_H

@@ -1,0 +1,65 @@
+//===- support/barrier.h - Spinning start barrier ----------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable sense-reversing spin barrier. Benchmark threads park on it so
+/// that the measured interval starts with all threads released at once; a
+/// blocking std::barrier would perturb the first milliseconds of short runs
+/// with wakeup latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SUPPORT_BARRIER_H
+#define LFSMR_SUPPORT_BARRIER_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+
+namespace lfsmr {
+
+/// Sense-reversing barrier for a fixed number of participants.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(std::size_t Participants)
+      : Count(Participants), Total(Participants) {
+    assert(Participants > 0 && "barrier needs at least one participant");
+  }
+
+  SpinBarrier(const SpinBarrier &) = delete;
+  SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+  /// Blocks (spinning) until all participants have arrived. Reusable: the
+  /// same object can serve multiple phases.
+  void arriveAndWait() {
+    const bool MySense = !Sense.load(std::memory_order_relaxed);
+    if (Count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Count.store(Total, std::memory_order_relaxed);
+      Sense.store(MySense, std::memory_order_release);
+      return;
+    }
+    while (Sense.load(std::memory_order_acquire) != MySense)
+      spinPause();
+  }
+
+  /// Emits a CPU pause/yield hint inside spin loops.
+  static void spinPause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+private:
+  std::atomic<std::size_t> Count;
+  const std::size_t Total;
+  std::atomic<bool> Sense{false};
+};
+
+} // namespace lfsmr
+
+#endif // LFSMR_SUPPORT_BARRIER_H

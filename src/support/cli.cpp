@@ -1,0 +1,104 @@
+//===- support/cli.cpp - Tiny command-line flag parser --------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lfsmr;
+
+CommandLine::CommandLine(int Argc, const char *const *Argv) {
+  if (Argc > 0)
+    Program = Argv[0];
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.size() < 3 || Arg[0] != '-' || Arg[1] != '-') {
+      Positional.push_back(Arg);
+      continue;
+    }
+    Arg = Arg.substr(2);
+    const std::size_t Eq = Arg.find('=');
+    if (Eq != std::string::npos) {
+      Flags.push_back({Arg.substr(0, Eq), Arg.substr(Eq + 1), true});
+      continue;
+    }
+    // `--name value` form: consume the next token as the value unless it
+    // looks like another flag.
+    if (I + 1 < Argc && Argv[I + 1][0] != '-') {
+      Flags.push_back({Arg, Argv[I + 1], true});
+      ++I;
+      continue;
+    }
+    Flags.push_back({Arg, "", false});
+  }
+}
+
+const CommandLine::Flag *CommandLine::find(const std::string &Name) const {
+  for (const Flag &F : Flags)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+bool CommandLine::has(const std::string &Name) const {
+  return find(Name) != nullptr;
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  const Flag *F = find(Name);
+  return F && F->HasValue ? F->Value : Default;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  const Flag *F = find(Name);
+  if (!F || !F->HasValue)
+    return Default;
+  char *End = nullptr;
+  const long long V = std::strtoll(F->Value.c_str(), &End, 10);
+  if (End == F->Value.c_str() || *End != '\0') {
+    std::fprintf(stderr, "error: flag --%s expects an integer, got '%s'\n",
+                 Name.c_str(), F->Value.c_str());
+    std::exit(2);
+  }
+  return V;
+}
+
+double CommandLine::getDouble(const std::string &Name, double Default) const {
+  const Flag *F = find(Name);
+  if (!F || !F->HasValue)
+    return Default;
+  char *End = nullptr;
+  const double V = std::strtod(F->Value.c_str(), &End);
+  if (End == F->Value.c_str() || *End != '\0') {
+    std::fprintf(stderr, "error: flag --%s expects a number, got '%s'\n",
+                 Name.c_str(), F->Value.c_str());
+    std::exit(2);
+  }
+  return V;
+}
+
+std::vector<int64_t>
+CommandLine::getIntList(const std::string &Name,
+                        const std::vector<int64_t> &Default) const {
+  const Flag *F = find(Name);
+  if (!F || !F->HasValue)
+    return Default;
+  std::vector<int64_t> Out;
+  std::string Item;
+  for (std::size_t I = 0; I <= F->Value.size(); ++I) {
+    if (I == F->Value.size() || F->Value[I] == ',') {
+      if (!Item.empty()) {
+        Out.push_back(std::strtoll(Item.c_str(), nullptr, 10));
+        Item.clear();
+      }
+      continue;
+    }
+    Item.push_back(F->Value[I]);
+  }
+  return Out;
+}

@@ -1,0 +1,20 @@
+//===- support/mem_counter.cpp - Allocation accounting --------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/mem_counter.h"
+
+#include <thread>
+
+using namespace lfsmr;
+
+std::size_t ShardedCounter::shardIndex() {
+  // Hash the thread id once per thread; the shard assignment only needs to
+  // spread concurrent writers, not be stable across runs.
+  static thread_local const std::size_t Index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      ShardedCounter::NumShards;
+  return Index;
+}

@@ -1,0 +1,94 @@
+//===- support/mem_counter.h - Allocation accounting ------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global node allocation/free counters. The tests use them to assert that
+/// every SMR scheme eventually frees everything it retires (reclamation
+/// completeness), and Figure 12's "retired but not yet reclaimed objects"
+/// metric is derived from per-scheme retire/free counters that feed the
+/// same interface.
+///
+/// Counters are sharded across cache lines so that hot-path increments do
+/// not serialize the benchmark threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SUPPORT_MEM_COUNTER_H
+#define LFSMR_SUPPORT_MEM_COUNTER_H
+
+#include "support/align.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfsmr {
+
+/// A sharded event counter: increments go to a per-thread shard; reads sum
+/// all shards (approximate under concurrency, exact at quiescence).
+class ShardedCounter {
+public:
+  static constexpr std::size_t NumShards = 64;
+
+  /// Adds \p Delta to the calling thread's shard.
+  void add(int64_t Delta) {
+    Shards[shardIndex()]->fetch_add(Delta, std::memory_order_relaxed);
+  }
+
+  /// Sums all shards. Exact only when no thread is concurrently adding.
+  int64_t total() const {
+    int64_t Sum = 0;
+    for (const auto &S : Shards)
+      Sum += S->load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  /// Resets all shards to zero. Only call at quiescence.
+  void reset() {
+    for (auto &S : Shards)
+      S->store(0, std::memory_order_relaxed);
+  }
+
+private:
+  static std::size_t shardIndex();
+
+  CachePadded<std::atomic<int64_t>> Shards[NumShards] = {};
+};
+
+/// Accounting for one reclamation domain: how many nodes were allocated,
+/// retired, and freed. `retired() - freed()` is the Figure 12 metric.
+class MemCounter {
+public:
+  void onAlloc() { Allocs.add(1); }
+  void onRetire() { Retires.add(1); }
+  void onFree() { Frees.add(1); }
+  void onFree(int64_t N) { Frees.add(N); }
+
+  int64_t allocated() const { return Allocs.total(); }
+  int64_t retired() const { return Retires.total(); }
+  int64_t freed() const { return Frees.total(); }
+
+  /// Number of retired-but-not-yet-reclaimed objects right now.
+  int64_t unreclaimed() const { return retired() - freed(); }
+
+  /// Number of allocated objects never freed (live + unreclaimed).
+  int64_t outstanding() const { return allocated() - freed(); }
+
+  void reset() {
+    Allocs.reset();
+    Retires.reset();
+    Frees.reset();
+  }
+
+private:
+  ShardedCounter Allocs;
+  ShardedCounter Retires;
+  ShardedCounter Frees;
+};
+
+} // namespace lfsmr
+
+#endif // LFSMR_SUPPORT_MEM_COUNTER_H

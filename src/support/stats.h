@@ -1,0 +1,59 @@
+//===- support/stats.h - Streaming statistics -------------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Welford-style streaming mean/variance accumulator. The paper reports the
+/// average of 5 repeated runs per data point; RunStats aggregates repeats
+/// without storing them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SUPPORT_STATS_H
+#define LFSMR_SUPPORT_STATS_H
+
+#include <cmath>
+#include <cstddef>
+
+namespace lfsmr {
+
+/// Accumulates samples and exposes count/mean/stddev/min/max.
+class RunStats {
+public:
+  void add(double Sample) {
+    ++N;
+    const double Delta = Sample - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (Sample - Mean);
+    if (Sample < Minimum)
+      Minimum = Sample;
+    if (Sample > Maximum)
+      Maximum = Sample;
+  }
+
+  std::size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double min() const { return N ? Minimum : 0.0; }
+  double max() const { return N ? Maximum : 0.0; }
+
+  /// Sample standard deviation (N-1 denominator); 0 for fewer than two
+  /// samples.
+  double stddev() const {
+    if (N < 2)
+      return 0.0;
+    return std::sqrt(M2 / static_cast<double>(N - 1));
+  }
+
+private:
+  std::size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Minimum = 1e300;
+  double Maximum = -1e300;
+};
+
+} // namespace lfsmr
+
+#endif // LFSMR_SUPPORT_STATS_H

@@ -1,0 +1,78 @@
+//===- tests/test_hashmap.cpp - Michael hash map tests --------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/michael_hashmap.h"
+#include "ds_common.h"
+
+using namespace lfsmr;
+using namespace lfsmr::ds;
+using namespace lfsmr::testing;
+
+namespace {
+
+template <typename S> class HashMapTest : public ::testing::Test {};
+TYPED_TEST_SUITE(HashMapTest, AllSchemes, SchemeNames);
+
+TYPED_TEST(HashMapTest, SequentialSemantics) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 256);
+  checkSequentialSemantics(M);
+}
+
+TYPED_TEST(HashMapTest, BulkLifecycle) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 256);
+  checkBulkLifecycle(M, 2000);
+}
+
+TYPED_TEST(HashMapTest, TinyTableForcesChains) {
+  // A 2-bucket table degenerates to lists, exercising chain traversal and
+  // collision handling.
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 2);
+  for (uint64_t K = 1; K <= 200; ++K)
+    ASSERT_TRUE(M.insert(0, K, K + 7));
+  for (uint64_t K = 1; K <= 200; ++K) {
+    auto V = M.get(0, K);
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, K + 7);
+  }
+  for (uint64_t K = 1; K <= 200; ++K)
+    ASSERT_TRUE(M.remove(0, K));
+  EXPECT_EQ(M.smr().memCounter().allocated(), M.smr().memCounter().retired());
+}
+
+TYPED_TEST(HashMapTest, BucketCountRounding) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 100); // rounds to 128
+  for (uint64_t K = 0; K < 500; ++K)
+    ASSERT_TRUE(M.insert(0, K, K));
+  for (uint64_t K = 0; K < 500; ++K)
+    ASSERT_TRUE(M.get(0, K).has_value());
+}
+
+TYPED_TEST(HashMapTest, PutSemantics) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 256);
+  checkPutSemantics(M);
+}
+
+TYPED_TEST(HashMapTest, ConcurrentPuts) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 64);
+  checkConcurrentPuts(M, 8, 4000, 128);
+}
+
+TYPED_TEST(HashMapTest, DisjointKeyThreads) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 512);
+  checkDisjointKeyThreads(M, 8, 500);
+}
+
+TYPED_TEST(HashMapTest, ContendedLedger) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 64);
+  checkContendedLedger(M, 8, 6000, 128);
+}
+
+TYPED_TEST(HashMapTest, ReadersVsWriters) {
+  MichaelHashMap<TypeParam> M(dsTestConfig(), 64);
+  checkReadersVsWriters(M, 4, 4, 8000, 256);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- tests/test_list.cpp - Harris-Michael list tests --------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/hm_list.h"
+#include "ds_common.h"
+
+#include <algorithm>
+
+using namespace lfsmr;
+using namespace lfsmr::ds;
+using namespace lfsmr::testing;
+
+namespace {
+
+template <typename S> class ListTest : public ::testing::Test {};
+TYPED_TEST_SUITE(ListTest, AllSchemes, SchemeNames);
+
+TYPED_TEST(ListTest, SequentialSemantics) {
+  HMList<TypeParam> L(dsTestConfig());
+  checkSequentialSemantics(L);
+}
+
+TYPED_TEST(ListTest, BulkLifecycle) {
+  HMList<TypeParam> L(dsTestConfig());
+  checkBulkLifecycle(L, 1000);
+}
+
+TYPED_TEST(ListTest, SortedOrderMaintained) {
+  HMList<TypeParam> L(dsTestConfig());
+  // Insert in reverse and confirm membership is exact.
+  for (uint64_t K = 50; K > 0; --K)
+    ASSERT_TRUE(L.insert(0, K * 2, K));
+  for (uint64_t K = 1; K <= 50; ++K) {
+    EXPECT_TRUE(L.get(0, K * 2).has_value());
+    EXPECT_FALSE(L.get(0, K * 2 - 1).has_value());
+  }
+}
+
+TYPED_TEST(ListTest, PrefillSortedMatchesInsert) {
+  HMList<TypeParam> L(dsTestConfig());
+  std::vector<uint64_t> Keys = {2, 5, 9, 14, 100, 1000};
+  L.prefillSorted(Keys);
+  for (uint64_t K : Keys)
+    ASSERT_TRUE(L.get(0, K).has_value());
+  EXPECT_FALSE(L.get(0, 3).has_value());
+  // The prefilled chain must interoperate with regular operations.
+  EXPECT_TRUE(L.insert(0, 7, 70));
+  EXPECT_TRUE(L.remove(0, 9));
+  EXPECT_TRUE(L.get(0, 7).has_value());
+  EXPECT_FALSE(L.get(0, 9).has_value());
+}
+
+TYPED_TEST(ListTest, BoundaryKeys) {
+  HMList<TypeParam> L(dsTestConfig());
+  EXPECT_TRUE(L.insert(0, 0, 1));
+  EXPECT_TRUE(L.insert(0, UINT64_MAX, 2));
+  EXPECT_TRUE(L.get(0, 0).has_value());
+  EXPECT_TRUE(L.get(0, UINT64_MAX).has_value());
+  EXPECT_TRUE(L.remove(0, 0));
+  EXPECT_TRUE(L.remove(0, UINT64_MAX));
+}
+
+TYPED_TEST(ListTest, PutSemantics) {
+  HMList<TypeParam> L(dsTestConfig());
+  checkPutSemantics(L);
+}
+
+TYPED_TEST(ListTest, ConcurrentPuts) {
+  HMList<TypeParam> L(dsTestConfig());
+  checkConcurrentPuts(L, 8, 3000, 64);
+}
+
+TYPED_TEST(ListTest, DisjointKeyThreads) {
+  HMList<TypeParam> L(dsTestConfig());
+  checkDisjointKeyThreads(L, 8, 300);
+}
+
+TYPED_TEST(ListTest, ContendedLedger) {
+  HMList<TypeParam> L(dsTestConfig());
+  checkContendedLedger(L, 8, 4000, 64);
+}
+
+TYPED_TEST(ListTest, ReadersVsWriters) {
+  HMList<TypeParam> L(dsTestConfig());
+  checkReadersVsWriters(L, 4, 4, 6000, 128);
+}
+
+} // namespace

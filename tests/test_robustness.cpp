@@ -1,0 +1,134 @@
+//===- tests/test_robustness.cpp - Stalled-thread memory bounds -----------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's robustness property (Section 2): a scheme is robust if
+/// memory usage stays bounded when a thread stalls inside an operation.
+/// These tests stall a reader mid-operation while a writer churns:
+///  - robust schemes (HP, HE, IBR, Hyaline-S, Hyaline-1S) must keep the
+///    unreclaimed count bounded (Theorem 5);
+///  - non-robust schemes (Epoch, Hyaline, Hyaline-1) must exhibit the
+///    unbounded growth the paper warns about — asserted positively, since
+///    it is a documented property, not a bug;
+///  - once the stalled thread resumes, everything must reclaim.
+///
+//===----------------------------------------------------------------------===//
+
+#include "scheme_fixtures.h"
+#include "support/random.h"
+
+#include <thread>
+#include <vector>
+
+using namespace lfsmr;
+using namespace lfsmr::testing;
+
+namespace {
+
+constexpr int ChurnOps = 50000;
+
+/// Runs the stall scenario: a reader enters, dereferences one node, and
+/// stalls; a writer churns ChurnOps alloc/retire cycles through shared
+/// cells. Returns the unreclaimed count after the churn (stalled guard
+/// still active); on return everything has been released and freed.
+template <typename S>
+int64_t stallScenario(const smr::Config &Cfg, std::atomic<int64_t> &Freed,
+                      int64_t *TotalAllocated = nullptr) {
+  S Scheme(Cfg, countingDeleter<S>, &Freed);
+  std::atomic<TestNode<S> *> Cell{nullptr};
+
+  // Seed the cell so the stalled reader has something to dereference.
+  auto WriterBoot = Scheme.enter(1);
+  auto *Seed = new TestNode<S>();
+  Seed->Payload = 0;
+  Scheme.initNode(WriterBoot, &Seed->Hdr);
+  Cell.store(Seed);
+  Scheme.leave(WriterBoot);
+
+  auto Stalled = Scheme.enter(0);
+  (void)Scheme.deref(Stalled, Cell, 0); // hold a protected pointer
+
+  // Writer churn: publish a node, retire the displaced one.
+  for (int I = 0; I < ChurnOps; ++I) {
+    auto G = Scheme.enter(1);
+    auto *N = new TestNode<S>();
+    N->Payload = I;
+    Scheme.initNode(G, &N->Hdr);
+    auto *Old = Cell.exchange(N);
+    Scheme.retire(G, &Old->Hdr);
+    Scheme.leave(G);
+  }
+
+  const int64_t Unreclaimed = Scheme.memCounter().unreclaimed();
+  if (TotalAllocated)
+    *TotalAllocated = Scheme.memCounter().allocated();
+
+  // Resume: the stalled thread leaves; drain the cell.
+  Scheme.leave(Stalled);
+  auto G = Scheme.enter(1);
+  Scheme.retire(G, &Cell.exchange(nullptr)->Hdr);
+  Scheme.leave(G);
+  return Unreclaimed;
+}
+
+smr::Config robustnessConfig() {
+  smr::Config C;
+  C.MaxThreads = 4;
+  C.Slots = 2;
+  C.MinBatch = 8;
+  C.EpochFreq = 16;
+  C.EmptyFreq = 32;
+  C.EraFreq = 16;
+  C.AckThreshold = 512;
+  return C;
+}
+
+template <typename S> class Robust : public ::testing::Test {};
+TYPED_TEST_SUITE(Robust, RobustSchemes, SchemeNames);
+
+TYPED_TEST(Robust, BoundedUnderStalledReader) {
+  std::atomic<int64_t> Freed{0};
+  const int64_t Unreclaimed =
+      stallScenario<TypeParam>(robustnessConfig(), Freed);
+  // Bound: far below the churn volume. The exact constant depends on the
+  // scheme (Theorem 5 gives deltaEra * Freq * n * (k+1) for Hyaline-S);
+  // 10% of the churn is orders of magnitude above any of them.
+  EXPECT_LT(Unreclaimed, ChurnOps / 10)
+      << "robust scheme must bound memory under a stalled thread";
+}
+
+TYPED_TEST(Robust, FullReclamationAfterResume) {
+  std::atomic<int64_t> Freed{0};
+  int64_t Allocated = 0;
+  { stallScenario<TypeParam>(robustnessConfig(), Freed, &Allocated); }
+  // stallScenario destroyed the scheme on return: drain complete.
+  EXPECT_EQ(Freed.load(), Allocated);
+}
+
+using NonRobustSchemes =
+    ::testing::Types<smr::EBR, core::Hyaline, core::Hyaline1>;
+
+template <typename S> class NonRobust : public ::testing::Test {};
+TYPED_TEST_SUITE(NonRobust, NonRobustSchemes, SchemeNames);
+
+TYPED_TEST(NonRobust, UnboundedGrowthUnderStalledReader) {
+  // Documents the paper's Table 1: these schemes are NOT robust. The
+  // stalled reader pins (nearly) all memory retired after it entered.
+  std::atomic<int64_t> Freed{0};
+  const int64_t Unreclaimed =
+      stallScenario<TypeParam>(robustnessConfig(), Freed);
+  EXPECT_GT(Unreclaimed, ChurnOps / 2)
+      << "non-robust scheme expected to accumulate garbage under stall";
+}
+
+TYPED_TEST(NonRobust, FullReclamationAfterResume) {
+  std::atomic<int64_t> Freed{0};
+  int64_t Allocated = 0;
+  { stallScenario<TypeParam>(robustnessConfig(), Freed, &Allocated); }
+  EXPECT_EQ(Freed.load(), Allocated);
+}
+
+} // namespace

@@ -1,0 +1,272 @@
+//===- tests/test_support.cpp - Support substrate unit tests --------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/align.h"
+#include "support/barrier.h"
+#include "support/cli.h"
+#include "support/mem_counter.h"
+#include "support/random.h"
+#include "support/stats.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace lfsmr;
+
+//===----------------------------------------------------------------------===
+// align.h
+
+TEST(Align, CachePaddedIsolation) {
+  CachePadded<int> Arr[2];
+  const auto A = reinterpret_cast<uintptr_t>(&Arr[0].Value);
+  const auto B = reinterpret_cast<uintptr_t>(&Arr[1].Value);
+  EXPECT_GE(B - A, CacheLineSize);
+}
+
+TEST(Align, NextPowerOfTwo) {
+  EXPECT_EQ(nextPowerOfTwo(0), 1u);
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(5), 8u);
+  EXPECT_EQ(nextPowerOfTwo(1023), 1024u);
+  EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+}
+
+TEST(Align, FloorLog2) {
+  EXPECT_EQ(floorLog2(1), 0u);
+  EXPECT_EQ(floorLog2(7), 2u);
+  EXPECT_EQ(floorLog2(8), 3u);
+  EXPECT_EQ(floorLog2(uint64_t{1} << 40), 40u);
+}
+
+//===----------------------------------------------------------------------===
+// random.h
+
+TEST(Random, Deterministic) {
+  Xoshiro256 A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, SeedsDiffer) {
+  Xoshiro256 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 3);
+}
+
+TEST(Random, BoundedInRange) {
+  Xoshiro256 R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBounded(100), 100u);
+}
+
+TEST(Random, BoundedRoughlyUniform) {
+  Xoshiro256 R(11);
+  int Buckets[10] = {};
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Buckets[R.nextBounded(10)];
+  for (int B : Buckets) {
+    EXPECT_GT(B, N / 10 - N / 50);
+    EXPECT_LT(B, N / 10 + N / 50);
+  }
+}
+
+TEST(Random, PercentEdges) {
+  Xoshiro256 R(3);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextPercent(0));
+    EXPECT_TRUE(R.nextPercent(100));
+  }
+}
+
+TEST(Random, SplitMixMixesZeroSeed) {
+  SplitMix64 M(0);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 100; ++I)
+    Seen.insert(M.next());
+  EXPECT_EQ(Seen.size(), 100u);
+}
+
+//===----------------------------------------------------------------------===
+// barrier.h
+
+TEST(Barrier, SingleParticipant) {
+  SpinBarrier B(1);
+  B.arriveAndWait(); // must not block
+  B.arriveAndWait(); // reusable
+}
+
+TEST(Barrier, PhaseLockstep) {
+  constexpr int N = 8, Phases = 20;
+  SpinBarrier B(N);
+  std::atomic<int> Phase{0};
+  std::atomic<bool> Mismatch{false};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < N; ++T)
+    Ts.emplace_back([&, T] {
+      for (int P = 0; P < Phases; ++P) {
+        B.arriveAndWait();
+        if (Phase.load() != P)
+          Mismatch = true;
+        B.arriveAndWait();
+        if (T == 0) // exactly one thread advances the phase
+          Phase.fetch_add(1);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_FALSE(Mismatch.load());
+  EXPECT_EQ(Phase.load(), Phases);
+}
+
+TEST(Barrier, ManyThreadsManyPhases) {
+  constexpr int N = 6, Phases = 50;
+  SpinBarrier B(N);
+  std::atomic<int> Counter{0};
+  std::atomic<bool> Bad{false};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < N; ++T)
+    Ts.emplace_back([&] {
+      for (int P = 0; P < Phases; ++P) {
+        Counter.fetch_add(1);
+        B.arriveAndWait();
+        // After the barrier, all N increments of this phase are visible.
+        if (Counter.load() < N * (P + 1))
+          Bad = true;
+        B.arriveAndWait();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_FALSE(Bad.load());
+  EXPECT_EQ(Counter.load(), N * Phases);
+}
+
+//===----------------------------------------------------------------------===
+// stats.h
+
+TEST(Stats, Empty) {
+  RunStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  RunStats S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.stddev(), 2.138, 0.001); // sample stddev
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(Stats, SingleSample) {
+  RunStats S;
+  S.add(3.5);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.mean(), 3.5);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+//===----------------------------------------------------------------------===
+// cli.h
+
+static CommandLine parse(std::initializer_list<const char *> Args) {
+  std::vector<const char *> V{"prog"};
+  V.insert(V.end(), Args.begin(), Args.end());
+  return CommandLine(static_cast<int>(V.size()), V.data());
+}
+
+TEST(Cli, FlagForms) {
+  auto C = parse({"--threads", "8", "--mode=full", "--verbose"});
+  EXPECT_EQ(C.getInt("threads", 0), 8);
+  EXPECT_EQ(C.getString("mode", ""), "full");
+  EXPECT_TRUE(C.has("verbose"));
+  EXPECT_FALSE(C.has("quiet"));
+}
+
+TEST(Cli, Defaults) {
+  auto C = parse({});
+  EXPECT_EQ(C.getInt("threads", 42), 42);
+  EXPECT_EQ(C.getString("mode", "quick"), "quick");
+  EXPECT_DOUBLE_EQ(C.getDouble("secs", 1.5), 1.5);
+}
+
+TEST(Cli, IntList) {
+  auto C = parse({"--threads", "1,2,4,8"});
+  const std::vector<int64_t> L = C.getIntList("threads", {});
+  ASSERT_EQ(L.size(), 4u);
+  EXPECT_EQ(L[0], 1);
+  EXPECT_EQ(L[3], 8);
+}
+
+TEST(Cli, Positional) {
+  auto C = parse({"run", "--n", "3", "fast"});
+  ASSERT_EQ(C.positional().size(), 2u);
+  EXPECT_EQ(C.positional()[0], "run");
+  EXPECT_EQ(C.positional()[1], "fast");
+}
+
+TEST(Cli, DoubleFlag) {
+  auto C = parse({"--secs=2.5"});
+  EXPECT_DOUBLE_EQ(C.getDouble("secs", 0), 2.5);
+}
+
+//===----------------------------------------------------------------------===
+// mem_counter.h
+
+TEST(MemCounter, SingleThreadAccounting) {
+  MemCounter M;
+  for (int I = 0; I < 10; ++I)
+    M.onAlloc();
+  for (int I = 0; I < 6; ++I)
+    M.onRetire();
+  for (int I = 0; I < 4; ++I)
+    M.onFree();
+  EXPECT_EQ(M.allocated(), 10);
+  EXPECT_EQ(M.retired(), 6);
+  EXPECT_EQ(M.freed(), 4);
+  EXPECT_EQ(M.unreclaimed(), 2);
+  EXPECT_EQ(M.outstanding(), 6);
+}
+
+TEST(MemCounter, BulkFree) {
+  MemCounter M;
+  M.onFree(25);
+  EXPECT_EQ(M.freed(), 25);
+}
+
+TEST(MemCounter, Reset) {
+  MemCounter M;
+  M.onAlloc();
+  M.onRetire();
+  M.reset();
+  EXPECT_EQ(M.allocated(), 0);
+  EXPECT_EQ(M.retired(), 0);
+}
+
+TEST(MemCounter, ConcurrentSum) {
+  MemCounter M;
+  constexpr int N = 8, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < N; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I)
+        M.onAlloc();
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(M.allocated(), int64_t{N} * PerThread);
+}
