@@ -20,7 +20,11 @@
 /// always *some* current head pointer — which an active thread in the
 /// slot is allowed to dereference (it holds a reference through HRef).
 ///
-/// On non-x86-64 targets this falls back to std::atomic<Head>.
+/// On non-x86-64 targets this falls back to std::atomic<Head>. The same
+/// fallback is used under ThreadSanitizer: inline asm is invisible to
+/// TSan, so the cmpxchg16b path would (falsely) report every
+/// publish-batch/leave synchronization edge as a race. The fallback keeps
+/// the algorithm identical and lets TSan model the acquire/release pairs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +38,18 @@
 
 namespace lfsmr::core {
 
-#if defined(__x86_64__)
+#if defined(__SANITIZE_THREAD__)
+#define LFSMR_DWCAS_PORTABLE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LFSMR_DWCAS_PORTABLE 1
+#endif
+#endif
+#if !defined(LFSMR_DWCAS_PORTABLE) && !defined(__x86_64__)
+#define LFSMR_DWCAS_PORTABLE 1
+#endif
+
+#ifndef LFSMR_DWCAS_PORTABLE
 
 /// 16-byte atomic head word with inlined cmpxchg16b.
 class DWAtomicHead {
@@ -83,9 +98,10 @@ private:
   uint64_t Hi;             ///< HPtr
 };
 
-#else // !__x86_64__
+#else // LFSMR_DWCAS_PORTABLE
 
-/// Portable fallback on std::atomic (LL/SC or library-provided CAS).
+/// Portable fallback on std::atomic (LL/SC or library-provided CAS);
+/// also the TSan build's path, so the sanitizer sees the ordering.
 class DWAtomicHead {
 public:
   DWAtomicHead() : A(Head{}) {}
@@ -104,7 +120,7 @@ private:
   std::atomic<Head> A;
 };
 
-#endif // __x86_64__
+#endif // LFSMR_DWCAS_PORTABLE
 
 static_assert(sizeof(DWAtomicHead) >= 16, "two words required");
 

@@ -27,8 +27,21 @@
 /// tree (and by the benchmark suite the paper builds on): a node reached
 /// through an already-removed chain can in principle be retired between
 /// the load and the hazard publication, because removed nodes' child
-/// pointers no longer change and therefore revalidate successfully. The
-/// era-based schemes (IBR, Hyaline-S/1S) do not have this window.
+/// pointers no longer change and therefore revalidate successfully.
+///
+/// Era-based schemes (IBR, HE, Hyaline-S/1S) have a different obligation
+/// here. Unlike the list and queue, seek deliberately walks on through
+/// detached (tagged) chains without revalidating reachability. A frozen
+/// edge inside such a chain may point at a node whose birth era lies
+/// *above* the access/upper era this thread had published when the
+/// reclaimer last scanned it: the node was legitimately freed, and
+/// raising the era afterwards cannot resurrect it. seek therefore
+/// restarts from the sentinels whenever the scheme's global era clock
+/// advances mid-walk ("era-constant traversal"): within one walk every
+/// adoption happens at one published era E, so every reachable node has
+/// birth <= E and retire >= the era pinned at enter, and no reclaimer
+/// scan can free it. Schemes without an era clock (EBR, Hyaline(-1/-P))
+/// never restart and pay nothing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -177,11 +190,47 @@ private:
     return K < N->K ? N->Left : N->Right;
   }
 
+  /// True when the scheme exposes a global era clock whose advance must
+  /// restart in-flight traversals (see the file header).
+  static constexpr bool HasEraClock = requires(const S &Sc) {
+    Sc.currentEra();
+  };
+
+  /// The era this walk must stay within (0 for clockless schemes).
+  uint64_t walkEra() const {
+    if constexpr (HasEraClock)
+      return Smr.currentEra();
+    else
+      return 0;
+  }
+
+  /// True when the era clock moved past \p WalkEra: the last adoption may
+  /// have outrun the era this thread had published at the reclaimer's
+  /// last scan, so the walk must restart from the sentinels.
+  bool eraAdvanced(uint64_t WalkEra) const {
+    if constexpr (HasEraClock)
+      return Smr.currentEra() != WalkEra;
+    else {
+      (void)WalkEra;
+      return false;
+    }
+  }
+
   /// NM's seek (their Figure 4): walks to the unique leaf on K's search
   /// path, recording the last untagged edge. Hazard slots are drawn from
   /// a six-slot pool and released only when a node leaves all roles, so
-  /// HP/HE protections are never clobbered while still needed.
+  /// HP/HE protections are never clobbered while still needed. For
+  /// era-clock schemes the whole walk restarts if the era advances
+  /// (era-constant traversal; see the file header).
   void seek(Guard &G, Key K, SeekRecord &SR) {
+    while (!seekAttempt(G, K, SR)) {
+    }
+  }
+
+  /// One era-constant attempt; returns false when the walk must restart.
+  bool seekAttempt(Guard &G, Key K, SeekRecord &SR) {
+    const uint64_t WalkEra = walkEra();
+
     uint8_t Used = 0; // bitmask over slots 0..5
     const auto Alloc = [&Used]() -> unsigned {
       for (unsigned I = 0; I < 6; ++I)
@@ -200,16 +249,20 @@ private:
 
     SR.SlotLeaf = Alloc();
     uintptr_t ParentField = Smr.derefLink(G, SNode->Left, SR.SlotLeaf);
+    if (eraAdvanced(WalkEra))
+      return false; // the adopted pointer may postdate the published era
     SR.Leaf = toNode(ParentField);
 
     while (true) {
       const unsigned SlotCur = Alloc();
       const uintptr_t CurrentField =
           Smr.derefLink(G, childLink(SR.Leaf, K), SlotCur);
+      if (eraAdvanced(WalkEra))
+        return false;
       Node *Current = toNode(CurrentField);
       if (!Current) {
         Used &= ~(1u << SlotCur);
-        return; // SR.Leaf is the leaf on K's search path
+        return true; // SR.Leaf is the leaf on K's search path
       }
       // Advance one level, moving (ancestor, successor) down to
       // (parent, leaf) if the edge we came through was untagged.

@@ -16,6 +16,8 @@
 #define LFSMR_SUPPORT_RANDOM_H
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lfsmr {
 
@@ -81,6 +83,40 @@ private:
 
   uint64_t S[4];
 };
+
+/// Suite-wide base seed for randomized tests. Reads the `LFSMR_TEST_SEED`
+/// environment variable (decimal, or 0x-prefixed hex) on first use and logs
+/// the value to stderr, so a failing stress run prints everything needed to
+/// reproduce it:
+///
+///   LFSMR_TEST_SEED=0xdeadbeef ctest -R Stress
+///
+/// Without the variable the seed is a fixed constant, keeping default runs
+/// deterministic.
+inline uint64_t testSeed() {
+  static const uint64_t Seed = [] {
+    uint64_t S = 0x185dbc0244b48a5eULL;
+    if (const char *E = std::getenv("LFSMR_TEST_SEED")) {
+      char *End = nullptr;
+      const uint64_t V = std::strtoull(E, &End, 0);
+      if (End != E)
+        S = V;
+    }
+    std::fprintf(stderr,
+                 "lfsmr: test seed = %llu (set LFSMR_TEST_SEED to override)\n",
+                 static_cast<unsigned long long>(S));
+    return S;
+  }();
+  return Seed;
+}
+
+/// Derives an independent per-stream seed (one per worker thread, wave, or
+/// helper) from the suite seed, so every random stream in a test binary
+/// moves together when LFSMR_TEST_SEED changes.
+inline uint64_t streamSeed(uint64_t Stream) {
+  SplitMix64 Mix(testSeed() ^ (0x9e3779b97f4a7c15ULL * (Stream + 1)));
+  return Mix.next();
+}
 
 } // namespace lfsmr
 

@@ -81,7 +81,7 @@ void checkConcurrentPuts(DS &D, unsigned Threads, unsigned OpsPerThread,
   std::atomic<int> Bad{0};
   for (unsigned T = 0; T < Threads; ++T)
     Ts.emplace_back([&, T] {
-      Xoshiro256 Rng(500 + T);
+      Xoshiro256 Rng(streamSeed(500 + T));
       for (unsigned I = 0; I < OpsPerThread; ++I) {
         const uint64_t K = 1 + Rng.nextBounded(KeyRange);
         if (Rng.nextPercent(40)) {
@@ -113,7 +113,7 @@ template <typename DS> void checkBulkLifecycle(DS &D, uint64_t N) {
   std::vector<uint64_t> Keys(N);
   for (uint64_t I = 0; I < N; ++I)
     Keys[I] = I * 3 + 1;
-  Xoshiro256 Rng(99);
+  Xoshiro256 Rng(streamSeed(99));
   for (uint64_t I = N - 1; I > 0; --I)
     std::swap(Keys[I], Keys[Rng.nextBounded(I + 1)]);
 
@@ -179,7 +179,7 @@ void checkContendedLedger(DS &D, unsigned Threads, unsigned OpsPerThread,
   std::vector<std::thread> Ts;
   for (unsigned T = 0; T < Threads; ++T)
     Ts.emplace_back([&, T] {
-      Xoshiro256 Rng(1000 + T);
+      Xoshiro256 Rng(streamSeed(1000 + T));
       for (unsigned I = 0; I < OpsPerThread; ++I) {
         const uint64_t K = 1 + Rng.nextBounded(KeyRange);
         if (Rng.nextPercent(50)) {
@@ -215,7 +215,7 @@ void checkReadersVsWriters(DS &D, unsigned Writers, unsigned Readers,
   std::vector<std::thread> Ts;
   for (unsigned W = 0; W < Writers; ++W)
     Ts.emplace_back([&, W] {
-      Xoshiro256 Rng(7000 + W);
+      Xoshiro256 Rng(streamSeed(7000 + W));
       for (unsigned I = 0; I < Iters; ++I) {
         const uint64_t K = 1 + Rng.nextBounded(KeyRange);
         if (Rng.nextPercent(50))
@@ -226,7 +226,7 @@ void checkReadersVsWriters(DS &D, unsigned Writers, unsigned Readers,
     });
   for (unsigned R = 0; R < Readers; ++R)
     Ts.emplace_back([&, R] {
-      Xoshiro256 Rng(9000 + R);
+      Xoshiro256 Rng(streamSeed(9000 + R));
       while (!Stop.load(std::memory_order_relaxed)) {
         const uint64_t K = 1 + Rng.nextBounded(KeyRange);
         auto V = D.get(Writers + R, K);

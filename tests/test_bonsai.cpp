@@ -77,7 +77,7 @@ TYPED_TEST(BonsaiTest, BalancedUnderSortedInsertion) {
 
 TYPED_TEST(BonsaiTest, BalancedUnderRandomChurn) {
   BonsaiTree<TypeParam> T(dsTestConfig());
-  Xoshiro256 Rng(5);
+  Xoshiro256 Rng(streamSeed(5));
   for (int I = 0; I < 20000; ++I) {
     const uint64_t K = 1 + Rng.nextBounded(2000);
     if (Rng.nextPercent(50))
@@ -144,7 +144,7 @@ TYPED_TEST(BonsaiTest, ValidAfterConcurrentChurn) {
   std::vector<std::thread> Ts;
   for (unsigned W = 0; W < 8; ++W)
     Ts.emplace_back([&, W] {
-      Xoshiro256 Rng(W + 77);
+      Xoshiro256 Rng(streamSeed(W + 77));
       for (int I = 0; I < 3000; ++I) {
         const uint64_t K = 1 + Rng.nextBounded(512);
         if (Rng.nextPercent(50))

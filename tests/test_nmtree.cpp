@@ -111,7 +111,7 @@ TYPED_TEST(NMTreeConcurrent, HighContentionSingleKey) {
   Net[0].store(0);
   for (unsigned W = 0; W < Threads; ++W)
     Ts.emplace_back([&, W] {
-      Xoshiro256 Rng(W);
+      Xoshiro256 Rng(streamSeed(W));
       for (int I = 0; I < 5000; ++I) {
         if (Rng.nextPercent(50)) {
           if (T.insert(W, 42, 4242))

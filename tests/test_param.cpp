@@ -49,7 +49,7 @@ void exchangeChurn(const smr::Config &Cfg, unsigned Threads, int Ops) {
     std::vector<std::thread> Ts;
     for (unsigned T = 0; T < Threads; ++T)
       Ts.emplace_back([&, T] {
-        Xoshiro256 Rng(T + 1);
+        Xoshiro256 Rng(streamSeed(T + 1));
         for (int I = 0; I < Ops; ++I) {
           auto G = Scheme.enter(T);
           auto *N = new TestNode<S>();

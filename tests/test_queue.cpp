@@ -48,7 +48,7 @@ TYPED_TEST(QueueTest, DequeueRetiresDummies) {
 TYPED_TEST(QueueTest, InterleavedEnqueueDequeue) {
   MSQueue<TypeParam> Q(dsTestConfig());
   uint64_t In = 0, Out = 0;
-  Xoshiro256 Rng(17);
+  Xoshiro256 Rng(streamSeed(17));
   for (int I = 0; I < 10000; ++I) {
     if (Rng.nextPercent(60))
       Q.enqueue(0, In++);

@@ -28,6 +28,11 @@ using namespace lfsmr::testing;
 
 namespace {
 
+// The stall scenarios are deterministic, but logging the suite seed at
+// binary start keeps the reproduction recipe uniform across all stress and
+// robustness binaries (LFSMR_TEST_SEED, see support/random.h).
+[[maybe_unused]] const uint64_t LoggedSeed = testSeed();
+
 constexpr int ChurnOps = 50000;
 
 /// Runs the stall scenario: a reader enters, dereferences one node, and

@@ -1,0 +1,179 @@
+//===- tests/test_slot_directory.cpp - Adaptive slot directory ------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct coverage for core/slot_directory.h (Section 4.3, Figure 10):
+/// addressing across the geometrically growing arrays, stability of slot
+/// addresses under growth, idempotent/stale grow calls, thread-id folding
+/// above the slot count, and concurrent acquire/release against racing
+/// growers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/slot_directory.h"
+#include "support/random.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using lfsmr::core::SlotDirectory;
+
+namespace {
+
+TEST(SlotDirectory, InitialCapacityIsKMin) {
+  SlotDirectory<uint64_t> D(8);
+  EXPECT_EQ(D.kMin(), 8u);
+  EXPECT_EQ(D.capacity(), 8u);
+}
+
+TEST(SlotDirectory, GrowDoublesAndStaysPowerOfTwo) {
+  SlotDirectory<uint64_t> D(2);
+  for (std::size_t Expect = 2; Expect <= 256; Expect *= 2) {
+    EXPECT_EQ(D.capacity(), Expect);
+    EXPECT_EQ(D.capacity() & (D.capacity() - 1), 0u) << "must be a power of two";
+    D.grow(D.capacity());
+  }
+  EXPECT_EQ(D.capacity(), 512u);
+}
+
+TEST(SlotDirectory, StaleGrowIsNoOp) {
+  SlotDirectory<uint64_t> D(4);
+  D.grow(8); // nobody observed capacity 8 yet
+  EXPECT_EQ(D.capacity(), 4u);
+  D.grow(4);
+  EXPECT_EQ(D.capacity(), 8u);
+  D.grow(4); // stale ExpectedK after a successful grow
+  EXPECT_EQ(D.capacity(), 8u);
+}
+
+TEST(SlotDirectory, AddressingCoversEveryArrayBoundary) {
+  // KMin = 4: array 0 spans [0,4), array 1 [4,8), array 2 [8,16),
+  // array 3 [16,32). Every slot must be distinct storage.
+  SlotDirectory<uint64_t> D(4);
+  while (D.capacity() < 32)
+    D.grow(D.capacity());
+  for (std::size_t I = 0; I < 32; ++I)
+    D.slot(I) = 1000 + I;
+  for (std::size_t I = 0; I < 32; ++I)
+    EXPECT_EQ(D.slot(I), 1000 + I) << "slot " << I;
+}
+
+TEST(SlotDirectory, NewSlotsAreValueInitialized) {
+  SlotDirectory<uint64_t> D(4);
+  D.grow(4);
+  D.grow(8);
+  for (std::size_t I = 0; I < 16; ++I)
+    EXPECT_EQ(D.slot(I), 0u) << "slot " << I;
+}
+
+TEST(SlotDirectory, SlotAddressesAreStableAcrossGrowth) {
+  // Lock-free readers rely on existing slots never moving (the paper's
+  // reason for a directory instead of reallocation).
+  SlotDirectory<uint64_t> D(4);
+  std::vector<uint64_t *> Before;
+  for (std::size_t I = 0; I < 4; ++I) {
+    D.slot(I) = I + 1;
+    Before.push_back(&D.slot(I));
+  }
+  while (D.capacity() < 1024)
+    D.grow(D.capacity());
+  for (std::size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(&D.slot(I), Before[I]) << "slot " << I << " moved";
+    EXPECT_EQ(D.slot(I), I + 1) << "slot " << I << " lost its value";
+  }
+}
+
+TEST(SlotDirectory, ThreadIdFoldingAboveSlotCount) {
+  // Transparency: the Hyaline schemes fold dense thread ids onto slots
+  // with `Tid & (k - 1)`. Ids far above the slot count must land on valid,
+  // evenly distributed slots.
+  SlotDirectory<std::atomic<uint64_t>> D(8);
+  const std::size_t K = D.capacity();
+  for (unsigned Tid = 0; Tid < 64; ++Tid) {
+    const std::size_t Slot = Tid & (K - 1);
+    ASSERT_LT(Slot, K);
+    D.slot(Slot).fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::size_t I = 0; I < K; ++I)
+    EXPECT_EQ(D.slot(I).load(), 64u / K) << "folding must be uniform";
+}
+
+TEST(SlotDirectory, ConcurrentAcquireReleaseBalances) {
+  // Threads fold their id onto a slot, acquire (increment), spin briefly,
+  // and release (decrement), while one thread keeps doubling the
+  // directory. Counts must balance and no slot may be lost or duplicated.
+  SlotDirectory<std::atomic<int64_t>> D(4);
+  constexpr unsigned Threads = 8;
+  constexpr int Iters = 2000;
+  std::atomic<bool> Stop{false};
+  std::thread Grower([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      const std::size_t K = D.capacity();
+      if (K < 64)
+        D.grow(K);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      lfsmr::Xoshiro256 Rng(lfsmr::streamSeed(T));
+      for (int I = 0; I < Iters; ++I) {
+        // Capacity only grows, so a slot picked under an observed K stays
+        // valid even when a grower races past it.
+        const std::size_t K = D.capacity();
+        const std::size_t Slot = (T + Rng.nextBounded(K)) & (K - 1);
+        auto &Cell = D.slot(Slot);
+        Cell.fetch_add(1, std::memory_order_acq_rel);
+        std::this_thread::yield();
+        Cell.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  Stop.store(true);
+  Grower.join();
+  const std::size_t FinalK = D.capacity();
+  EXPECT_GE(FinalK, 4u);
+  for (std::size_t I = 0; I < FinalK; ++I)
+    EXPECT_EQ(D.slot(I).load(), 0) << "slot " << I << " unbalanced";
+}
+
+TEST(SlotDirectory, ConcurrentGrowersReachOneConsistentCapacity) {
+  // Racing growers allocate speculatively; the CAS loser must free its
+  // buffer (ASan would flag a leak) and capacity must advance exactly one
+  // doubling per observed value.
+  SlotDirectory<uint64_t> D(4);
+  constexpr unsigned Threads = 8;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < 6; ++I) {
+        // Re-read capacity each round but stop doubling at 4096 so the
+        // worst-case racing schedule stays within test-sized allocations.
+        const std::size_t K = D.capacity();
+        if (K < 4096)
+          D.grow(K);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  const std::size_t K = D.capacity();
+  EXPECT_EQ(K & (K - 1), 0u);
+  EXPECT_GE(K, 4u * 2); // at least one grow landed
+  EXPECT_LE(K, 8192u);
+  // Every slot of the final capacity must be addressable storage.
+  for (std::size_t I = 0; I < K; ++I)
+    D.slot(I) = I;
+  for (std::size_t I = 0; I < K; ++I)
+    EXPECT_EQ(D.slot(I), I);
+}
+
+} // namespace

@@ -206,7 +206,7 @@ TYPED_TEST(SmrContract, ExchangeCellStress) {
     std::vector<std::thread> Ts;
     for (unsigned W = 0; W < Writers; ++W)
       Ts.emplace_back([&, W] {
-        Xoshiro256 Rng(100 + W);
+        Xoshiro256 Rng(streamSeed(100 + W));
         for (int I = 0; I < OpsPerWriter; ++I) {
           auto G = Scheme.enter(W);
           auto *N = this->makeNode(Scheme, G, (uint64_t{W} << 32) | I);
@@ -218,7 +218,7 @@ TYPED_TEST(SmrContract, ExchangeCellStress) {
       });
     for (unsigned R = 0; R < Readers; ++R)
       Ts.emplace_back([&, R] {
-        Xoshiro256 Rng(200 + R);
+        Xoshiro256 Rng(streamSeed(200 + R));
         uint64_t Sink = 0;
         while (!Stop.load(std::memory_order_relaxed)) {
           auto G = Scheme.enter(Writers + R);

@@ -15,6 +15,7 @@
 #include "ds/michael_hashmap.h"
 #include "ds/nm_tree.h"
 #include "ds_common.h"
+#include "smr/reclaimer_traits.h"
 
 using namespace lfsmr;
 using namespace lfsmr::ds;
@@ -33,7 +34,7 @@ TYPED_TEST(Stress, OversubscribedHashMapChurn) {
   std::vector<std::thread> Ts;
   for (unsigned T = 0; T < Threads; ++T)
     Ts.emplace_back([&, T] {
-      Xoshiro256 Rng(T);
+      Xoshiro256 Rng(streamSeed(T));
       for (int I = 0; I < 4000; ++I) {
         const uint64_t K = Rng.nextBounded(4096);
         switch (Rng.nextBounded(3)) {
@@ -65,7 +66,7 @@ TYPED_TEST(Stress, DynamicThreadsJoinAndLeave) {
     std::vector<std::thread> Ts;
     for (unsigned T = 0; T < Width; ++T)
       Ts.emplace_back([&, T, Wave] {
-        Xoshiro256 Rng(Wave * 100 + T);
+        Xoshiro256 Rng(streamSeed(Wave * 100 + T));
         for (int I = 0; I < 500; ++I) {
           const uint64_t K = Rng.nextBounded(256);
           if (Rng.nextPercent(50))
@@ -96,7 +97,7 @@ TYPED_TEST(Stress, NMTreeOversubscribedMix) {
   std::vector<std::thread> Ts;
   for (unsigned W = 0; W < Threads; ++W)
     Ts.emplace_back([&, W] {
-      Xoshiro256 Rng(W + 31);
+      Xoshiro256 Rng(streamSeed(W + 31));
       for (int I = 0; I < 3000; ++I) {
         const uint64_t K = Rng.nextBounded(2048);
         switch (Rng.nextBounded(3)) {
@@ -126,7 +127,7 @@ TYPED_TEST(Stress, LongRunReclamationKeepsUp) {
   std::atomic<bool> Stop{false};
   for (unsigned W = 0; W < 8; ++W)
     Ts.emplace_back([&, W] {
-      Xoshiro256 Rng(W);
+      Xoshiro256 Rng(streamSeed(W));
       for (int I = 0; I < 20000; ++I) {
         const uint64_t K = Rng.nextBounded(1024);
         if (Rng.nextPercent(50))
@@ -148,9 +149,25 @@ TYPED_TEST(Stress, LongRunReclamationKeepsUp) {
     W.join();
   Stop.store(true);
   Sampler.join();
-  // 8 threads with per-thread buffers (batches, retired lists) cannot
-  // accumulate more than a few thousand nodes at the test's frequencies.
-  EXPECT_LT(MaxSeen.load(), 20000);
+  // Robust schemes bound garbage even when a thread is preempted mid-
+  // operation, so the sampled high-water mark must stay far below the
+  // churn volume. Non-robust schemes legitimately spike on an
+  // oversubscribed host (a descheduled guard pins everything retired
+  // meanwhile — the paper's Figure 12 scenario), so for them assert the
+  // quiescent property instead: once every thread has left, everything
+  // except the per-thread buffers (local batches, unswept retired lists)
+  // has drained.
+  if constexpr (smr::ReclaimerTraits<TypeParam>::Row.NeedsDeref) {
+    EXPECT_LT(MaxSeen.load(), 20000);
+  } else {
+    // Bound the leftovers relative to the churn: per-thread buffers plus
+    // whatever the final epoch pinned is a small fraction of the retires,
+    // while a scheme that stopped reclaiming keeps essentially all of
+    // them.
+    const auto &MC = M.smr().memCounter();
+    EXPECT_LT(MC.unreclaimed(), std::max<int64_t>(MC.retired() / 4, 2000))
+        << "reclamation never caught up after quiescence";
+  }
 }
 
 } // namespace
