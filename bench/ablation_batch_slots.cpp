@@ -31,6 +31,21 @@ using namespace lfsmr::harness;
 
 int main(int argc, char **argv) {
   const CommandLine Cmd(argc, argv);
+  if (Cmd.has("help")) {
+    std::printf("usage: ablation_batch_slots [--full] [--threadcount N] "
+                "[--secs S] [--slots 1,4,16] [--batches 16,64]\n");
+    return 0;
+  }
+  const std::vector<std::string> Unknown = Cmd.unknownFlags(
+      {"help", "full", "threadcount", "secs", "slots", "batches"});
+  if (!Unknown.empty()) {
+    std::fprintf(stderr,
+                 "error: unknown flag --%s\nusage: ablation_batch_slots "
+                 "[--full] [--threadcount N] [--secs S] [--slots 1,4,16] "
+                 "[--batches 16,64]\n",
+                 Unknown[0].c_str());
+    return 2;
+  }
   const bool Full = Cmd.has("full");
   const unsigned HW = std::thread::hardware_concurrency();
   const unsigned Threads =

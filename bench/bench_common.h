@@ -1,21 +1,20 @@
-//===- bench/bench_common.h - Shared figure-bench driver ---------*- C++ -*-===//
+//===- bench/bench_common.h - Shared sweep driver ----------------*- C++ -*-===//
 //
 // Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The common driver behind the per-figure benchmark binaries. Each
-/// binary names a data structure and the figure panels it regenerates;
-/// this driver sweeps (scheme x mix x thread count), prints CSV rows
-///
-///   panel,scheme,threads,mops,avg_unreclaimed,peak_unreclaimed,ops
-///
-/// and a per-panel human-readable summary. Two parameter sets:
+/// The (scheme x mix x thread count) sweep driver shared by the
+/// `lfsmr-bench` figure suites. Each suite names a data structure and the
+/// figure panels it regenerates; the driver runs every data point and
+/// feeds per-repeat results into the structured report layer
+/// (support/report.h), which renders them as JSON, CSV, or human text.
+/// Two parameter sets:
 ///  - default: CI-sized (short runs, coarse thread sweep);
 ///  - --full:  paper-sized (10 s x 5 repeats, dense sweep; Section 6).
 /// Other flags: --threads 1,4,8  --secs 0.5  --repeats 2  --schemes a,b
-///             --keyrange N  --prefill N
+///             --keyrange N  --prefill N  --seed S
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,9 +23,10 @@
 
 #include "harness/registry.h"
 #include "support/cli.h"
-#include "support/stats.h"
+#include "support/report.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,8 +46,60 @@ struct SweepOptions {
   unsigned Repeats;
   uint64_t KeyRange;
   uint64_t Prefill;
+  uint64_t Seed;
   std::vector<std::string> Schemes;
 };
+
+/// Validates each name in \p Requested against the registry's runnable
+/// set; on an unknown name prints the valid set and exits 2 (no silent
+/// defaulting).
+inline void checkSchemes(const std::vector<std::string> &Requested) {
+  const std::vector<std::string> &Valid = harness::runnableSchemes();
+  if (Requested.empty()) {
+    // A trailing `=` typo (--schemes=) must not silently emit an empty
+    // report.
+    std::fprintf(stderr, "error: --schemes must name at least one scheme\n");
+    std::exit(2);
+  }
+  for (const std::string &S : Requested) {
+    bool Found = false;
+    for (const std::string &V : Valid)
+      if (S == V) {
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "error: unknown scheme '%s'\nvalid schemes:",
+                   S.c_str());
+      for (const std::string &V : Valid)
+        std::fprintf(stderr, " %s", V.c_str());
+      std::fprintf(stderr, "\n");
+      std::exit(2);
+    }
+  }
+}
+
+/// Exits 2 unless \p V >= 1. Returns \p V for inline use.
+inline int64_t requireAtLeastOne(int64_t V, const char *Flag) {
+  if (V < 1) {
+    std::fprintf(stderr, "error: --%s must be >= 1\n", Flag);
+    std::exit(2);
+  }
+  return V;
+}
+
+/// Exits 2 unless \p Threads is non-empty with every entry >= 1.
+inline void checkThreadList(const std::vector<int64_t> &Threads) {
+  if (Threads.empty()) {
+    std::fprintf(stderr, "error: --threads must list at least one count\n");
+    std::exit(2);
+  }
+  for (const int64_t T : Threads)
+    if (T < 1) {
+      std::fprintf(stderr, "error: --threads entries must be >= 1\n");
+      std::exit(2);
+    }
+}
 
 inline SweepOptions parseSweep(const CommandLine &Cmd) {
   SweepOptions O;
@@ -61,52 +113,46 @@ inline SweepOptions parseSweep(const CommandLine &Cmd) {
                       static_cast<int64_t>(HW ? HW + HW / 3 : 12),
                       static_cast<int64_t>(HW ? 2 * HW : 16)};
   O.Threads = Cmd.getIntList("threads", DefaultThreads);
+  checkThreadList(O.Threads);
   O.Secs = Cmd.getDouble("secs", Full ? 10.0 : 0.25);
-  O.Repeats =
-      static_cast<unsigned>(Cmd.getInt("repeats", Full ? 5 : 1));
-  O.KeyRange = static_cast<uint64_t>(Cmd.getInt("keyrange", 100000));
-  O.Prefill = static_cast<uint64_t>(Cmd.getInt("prefill", 50000));
-  const std::string S = Cmd.getString("schemes", "");
-  if (S.empty()) {
-    O.Schemes = harness::allSchemes();
-  } else {
-    std::string Item;
-    for (std::size_t I = 0; I <= S.size(); ++I) {
-      if (I == S.size() || S[I] == ',') {
-        if (!Item.empty())
-          O.Schemes.push_back(Item);
-        Item.clear();
-      } else {
-        Item.push_back(S[I]);
-      }
-    }
+  O.Repeats = static_cast<unsigned>(
+      requireAtLeastOne(Cmd.getInt("repeats", Full ? 5 : 1), "repeats"));
+  O.KeyRange = static_cast<uint64_t>(
+      requireAtLeastOne(Cmd.getInt("keyrange", 100000), "keyrange"));
+  const int64_t Prefill = Cmd.getInt("prefill", 50000);
+  if (Prefill < 0 || static_cast<uint64_t>(Prefill) > O.KeyRange) {
+    // The prefill draws distinct keys from [0, KeyRange), so it cannot
+    // exceed the key space (and a negative value would wrap to ~2^64).
+    std::fprintf(stderr,
+                 "error: --prefill must be in [0, keyrange=%llu]\n",
+                 static_cast<unsigned long long>(O.KeyRange));
+    std::exit(2);
   }
+  O.Prefill = static_cast<uint64_t>(Prefill);
+  O.Seed = static_cast<uint64_t>(Cmd.getInt("seed", 0x5eed));
+  O.Schemes = Cmd.getStringList("schemes", harness::allSchemes());
+  checkSchemes(O.Schemes);
   return O;
 }
 
-/// Runs all panels for one structure and prints the figure's data.
-inline void runFigure(const std::string &Structure,
-                      const std::vector<Panel> &Panels,
-                      const SweepOptions &O) {
-  std::printf("# structure=%s machine_threads=%u\n", Structure.c_str(),
-              std::thread::hardware_concurrency());
-  std::printf("panel,scheme,threads,mops,avg_unreclaimed,peak_unreclaimed,"
-              "ops\n");
-
+/// Runs all panels for one structure, emitting one DataPoint per
+/// (panel x scheme x thread count) into \p Rep.
+inline void runSweep(const std::string &SuiteName,
+                     const std::string &Structure,
+                     const std::vector<Panel> &Panels, const SweepOptions &O,
+                     report::Report &Rep) {
   for (const Panel &P : Panels) {
-    struct SummaryRow {
-      std::string Scheme;
-      double Mops;
-      double Unreclaimed;
-    };
-    std::vector<SummaryRow> AtMax;
-
     for (const std::string &Scheme : O.Schemes) {
       if (!harness::isSupported(Scheme, Structure))
         continue;
       for (int64_t T : O.Threads) {
-        RunStats Mops, Unrec, Peak;
-        uint64_t Ops = 0;
+        report::DataPoint Pt;
+        Pt.Suite = SuiteName;
+        Pt.Panel = P.Label;
+        Pt.Structure = Structure;
+        Pt.Mix = P.Mix.Name;
+        Pt.Scheme = Scheme;
+        Pt.Threads = static_cast<unsigned>(T);
         for (unsigned R = 0; R < O.Repeats; ++R) {
           harness::RunSpec Spec;
           Spec.Scheme = Scheme;
@@ -116,29 +162,17 @@ inline void runFigure(const std::string &Structure,
           Spec.Params.KeyRange = O.KeyRange;
           Spec.Params.Prefill = O.Prefill;
           Spec.Params.DurationSec = O.Secs;
-          Spec.Params.Seed = 0x5eed + R;
+          Spec.Params.Seed = O.Seed + R;
           const harness::RunResult Res = harness::runOne(Spec);
-          Mops.add(Res.Mops);
-          Unrec.add(Res.AvgUnreclaimed);
-          Peak.add(static_cast<double>(Res.PeakUnreclaimed));
-          Ops += Res.TotalOps;
+          Pt.Mops.add(Res.Mops);
+          Pt.AvgUnreclaimed.add(Res.AvgUnreclaimed);
+          Pt.PeakUnreclaimed.add(static_cast<double>(Res.PeakUnreclaimed));
+          Pt.TotalOps += Res.TotalOps;
+          Pt.WallSec += Res.ElapsedSec;
         }
-        std::printf("%s,%s,%lld,%.4f,%.1f,%.0f,%llu\n", P.Label,
-                    Scheme.c_str(), static_cast<long long>(T), Mops.mean(),
-                    Unrec.mean(), Peak.max(),
-                    static_cast<unsigned long long>(Ops));
-        std::fflush(stdout);
-        if (T == O.Threads.back())
-          AtMax.push_back({Scheme, Mops.mean(), Unrec.mean()});
+        Rep.addPoint(Pt);
       }
     }
-
-    std::printf("#\n# %s (%s) at %lld threads:\n", P.Label, P.Description,
-                static_cast<long long>(O.Threads.back()));
-    for (const SummaryRow &Row : AtMax)
-      std::printf("#   %-10s %8.3f Mops/s  avg unreclaimed %10.1f\n",
-                  Row.Scheme.c_str(), Row.Mops, Row.Unreclaimed);
-    std::printf("#\n");
   }
 }
 

@@ -1,34 +1,20 @@
-//===- bench/fig11_12_hashmap.cpp - Figures 11b/11e and 12b/12e -----------===//
+//===- bench/fig11_12_hashmap.cpp - DEPRECATED shim (`lfsmr-bench hashmap`)==//
 //
 // Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Regenerates the Michael hash-map panels: throughput (Figure 11b write,
-/// 11e read) and unreclaimed objects (Figure 12b/12e).
-///
-/// Hash-map operations are very short, making this the paper's
-/// reclamation stress test. Expected shape (Section 6): the gap between
-/// No MM and every reclaiming scheme widens once threads exceed cores;
-/// the Hyaline variants hold throughput much better than Epoch in the
-/// oversubscribed region (up to ~2x in the paper), and in the
-/// read-dominated mix Hyaline is more memory-efficient than IBR/HE/Epoch.
+/// Deprecated per-figure binary: forwards to the `hashmap` suite of the
+/// unified `lfsmr-bench` orchestrator (Fig. 11b/11e throughput and
+/// 12b/12e unreclaimed objects over the Michael hash map — the paper's
+/// reclamation stress test). Defaults to `--format csv`.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bench_common.h"
-
-using namespace lfsmr;
-using namespace lfsmr::bench;
-using namespace lfsmr::harness;
+#include "suites.h"
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const SweepOptions O = parseSweep(Cmd);
-  runFigure("hashmap",
-            {Panel{"fig11b+12b", WriteMix, "Michael hash map, write"},
-             Panel{"fig11e+12e", ReadMix, "Michael hash map, read"}},
-            O);
-  return 0;
+  return lfsmr::bench::deprecatedMain("fig11_12_hashmap", "hashmap", argc,
+                                      argv);
 }

@@ -1,35 +1,20 @@
-//===- bench/fig11_12_list.cpp - Figures 11a/11d and 12a/12d --------------===//
+//===- bench/fig11_12_list.cpp - DEPRECATED shim for `lfsmr-bench list` ---===//
 //
 // Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Regenerates the Harris & Michael linked-list panels of the paper's
-/// evaluation: throughput (Figure 11a write, 11d read) and the average
-/// number of retired-but-unreclaimed objects (Figure 12a/12d), for all
-/// nine schemes across a thread sweep.
-///
-/// The list is the paper's *unbalanced reclamation* case: operations are
-/// dominated by long traversals, so only a fraction of threads retire.
-/// Expected shape (paper Section 6): all schemes near-tied in throughput
-/// with HP visibly slower (barrier per pointer hop); Hyaline variants show
-/// much lower unreclaimed counts than Epoch/HE/IBR.
+/// Deprecated per-figure binary kept for muscle memory: forwards to the
+/// `list` suite of the unified `lfsmr-bench` orchestrator (Fig. 11a/11d
+/// throughput and 12a/12d unreclaimed objects over the Harris-Michael
+/// list). Output goes through the structured report layer; the shim
+/// defaults to `--format csv`, closest to the old printf rows.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bench_common.h"
-
-using namespace lfsmr;
-using namespace lfsmr::bench;
-using namespace lfsmr::harness;
+#include "suites.h"
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const SweepOptions O = parseSweep(Cmd);
-  runFigure("list",
-            {Panel{"fig11a+12a", WriteMix, "HM list, write 50i/50d"},
-             Panel{"fig11d+12d", ReadMix, "HM list, read 90g/10p"}},
-            O);
-  return 0;
+  return lfsmr::bench::deprecatedMain("fig11_12_list", "list", argc, argv);
 }

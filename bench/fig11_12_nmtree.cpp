@@ -1,36 +1,21 @@
-//===- bench/fig11_12_nmtree.cpp - Figures 11c/11f and 12c/12f ------------===//
+//===- bench/fig11_12_nmtree.cpp - DEPRECATED shim (`lfsmr-bench nmtree`) -===//
 //
 // Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Regenerates the Natarajan & Mittal BST panels: throughput (Figure 11c
-/// write, 11f read) and unreclaimed objects (Figure 12c/12f).
-///
-/// Expected shape (Section 6): similar trends to the hash map with more
-/// visible Hyaline gains; HP slower due to longer operations; in the
-/// read-dominated mix Hyaline's memory efficiency approaches HP's.
-///
-/// Caveat inherited from the paper's benchmark framework: HP/HE protect
-/// individual pointers, which on this tree's detached chains leaves a
-/// theoretical protection window (see ds/nm_tree.h). The benchmark keeps
-/// them for figure fidelity; the era/guard schemes are sound.
+/// Deprecated per-figure binary: forwards to the `nmtree` suite of the
+/// unified `lfsmr-bench` orchestrator (Fig. 11c/11f throughput and
+/// 12c/12f unreclaimed objects over the Natarajan-Mittal BST). Defaults
+/// to `--format csv`. The HP/HE protection-window caveat on this tree's
+/// detached chains (see ds/nm_tree.h) is unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bench_common.h"
-
-using namespace lfsmr;
-using namespace lfsmr::bench;
-using namespace lfsmr::harness;
+#include "suites.h"
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const SweepOptions O = parseSweep(Cmd);
-  runFigure("nmtree",
-            {Panel{"fig11c+12c", WriteMix, "NM tree, write 50i/50d"},
-             Panel{"fig11f+12f", ReadMix, "NM tree, read 90g/10p"}},
-            O);
-  return 0;
+  return lfsmr::bench::deprecatedMain("fig11_12_nmtree", "nmtree", argc,
+                                      argv);
 }

@@ -1,35 +1,20 @@
-//===- bench/fig13_bonsai.cpp - Figure 13 (Bonsai tree) -------------------===//
+//===- bench/fig13_bonsai.cpp - DEPRECATED shim for `lfsmr-bench bonsai` --===//
 //
 // Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Regenerates Figure 13: Bonsai-tree throughput for the write (13a) and
-/// read (13b) mixes, plus unreclaimed objects (13c). HP and HE cannot run
-/// this structure (unbounded per-operation protections; paper Section 6),
-/// so the scheme set matches the paper's: No MM, Epoch, Hyaline,
-/// Hyaline-1, Hyaline-S, Hyaline-1S, IBR.
-///
-/// Expected shape: Hyaline and Hyaline-1 beat Epoch steadily (~10% in the
-/// paper); the robust schemes (IBR, Hyaline-S/1S) are slower than their
-/// non-robust counterparts due to deref overhead but mutually similar;
-/// unreclaimed counts for Hyaline(-S) mostly below Epoch/IBR.
+/// Deprecated per-figure binary: forwards to the `bonsai` suite of the
+/// unified `lfsmr-bench` orchestrator (Fig. 13 throughput and
+/// unreclaimed objects over the Bonsai tree). HP and HE are skipped by
+/// the registry, matching the paper's scheme set. Defaults to
+/// `--format csv`.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "bench_common.h"
-
-using namespace lfsmr;
-using namespace lfsmr::bench;
-using namespace lfsmr::harness;
+#include "suites.h"
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const SweepOptions O = parseSweep(Cmd);
-  runFigure("bonsai",
-            {Panel{"fig13a+13c", WriteMix, "Bonsai tree, write 50i/50d"},
-             Panel{"fig13b", ReadMix, "Bonsai tree, read 90g/10p"}},
-            O);
-  return 0;
+  return lfsmr::bench::deprecatedMain("fig13_bonsai", "bonsai", argc, argv);
 }

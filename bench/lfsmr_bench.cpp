@@ -1,0 +1,19 @@
+//===- bench/lfsmr_bench.cpp - Unified benchmark orchestrator -------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `lfsmr-bench <suite> [flags]` — the single entry point for the paper's
+/// entire evaluation. Suites, flags, and the report formats are
+/// documented in bench/suites.h and `lfsmr-bench --help`; the JSON
+/// schema is described in the README ("Benchmark telemetry").
+///
+//===----------------------------------------------------------------------===//
+
+#include "suites.h"
+
+int main(int argc, char **argv) {
+  return lfsmr::bench::benchMain(argc, argv);
+}

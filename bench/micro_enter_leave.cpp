@@ -5,6 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
+/// DEPRECATED in favor of `lfsmr-bench enter-leave`, which measures the
+/// same primitives dependency-free and reports through the structured
+/// telemetry layer. This Google-Benchmark variant is kept (gated on the
+/// library being installed) for its per-iteration statistics engine.
+///
 /// Google-benchmark microbenchmarks for the primitive SMR operations,
 /// quantifying the paper's Section 3.2 "Costs" discussion:
 ///  - enter+leave pair (claim: Hyaline-1 ~ EBR; Hyaline's CAS adds little)

@@ -1,148 +1,21 @@
-//===- bench/robustness_stall.cpp - Stalled-thread memory growth ----------===//
+//===- bench/robustness_stall.cpp - DEPRECATED shim (`lfsmr-bench stall`) -===//
 //
 // Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Quantifies the robustness property that separates Hyaline-S/1S from
-/// Hyaline and Epoch (paper Sections 2, 4.2, Theorem 5): one reader
-/// enters an operation, dereferences a pointer, and stalls; writers churn
-/// allocate/retire cycles. The unreclaimed-object count is sampled as the
-/// churn progresses and printed as a series per scheme:
-///
-///   scheme,ops_done,unreclaimed
-///
-/// Expected shape: Epoch/Hyaline/Hyaline-1 grow linearly with the churn;
-/// HP/HE/IBR/Hyaline-S/Hyaline-1S plateau at a small bound.
+/// Deprecated binary: forwards to the `stall` suite of the unified
+/// `lfsmr-bench` orchestrator (the stalled-reader robustness series of
+/// paper Sections 2 and 4.2: robust schemes plateau, the others grow
+/// linearly with the churn). Flags `--ops/--writers/--sample` are
+/// unchanged; defaults to `--format csv`.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/hyaline.h"
-#include "core/hyaline1.h"
-#include "core/hyaline1s.h"
-#include "core/hyaline_s.h"
-#include "smr/ebr.h"
-#include "smr/he.h"
-#include "smr/hp.h"
-#include "smr/ibr.h"
-#include "support/cli.h"
-
-#include <atomic>
-#include <cstdio>
-#include <thread>
-#include <vector>
-
-using namespace lfsmr;
-
-namespace {
-
-struct StallNode {
-  alignas(16) char Header[64];
-  uint64_t Payload;
-};
-
-template <typename S> void deleteStallNode(void *Hdr, void *) {
-  delete reinterpret_cast<StallNode *>(Hdr);
-}
-
-template <typename S> typename S::NodeHeader *headerOf(StallNode *N) {
-  static_assert(sizeof(typename S::NodeHeader) <= sizeof(N->Header));
-  return new (N->Header) typename S::NodeHeader();
-}
-
-template <typename S>
-void runStall(const char *Name, int64_t TotalOps, unsigned Writers,
-              int64_t SamplePeriod) {
-  smr::Config C;
-  C.MaxThreads = Writers + 1;
-  S Scheme(C, &deleteStallNode<S>, nullptr);
-
-  std::vector<std::atomic<StallNode *>> Cells(64);
-  for (auto &Cell : Cells)
-    Cell.store(nullptr);
-
-  // Seed one node for the stalled reader to hold.
-  auto Boot = Scheme.enter(1);
-  auto *Seed = new StallNode();
-  Scheme.initNode(Boot, headerOf<S>(Seed));
-  Cells[0].store(Seed);
-  Scheme.leave(Boot);
-
-  auto Stalled = Scheme.enter(0);
-  (void)Scheme.deref(Stalled, Cells[0], 0);
-
-  std::atomic<int64_t> OpsDone{0};
-  std::atomic<bool> Stop{false};
-  std::vector<std::thread> Ts;
-  for (unsigned W = 0; W < Writers; ++W)
-    Ts.emplace_back([&, W] {
-      uint64_t X = W + 1;
-      while (!Stop.load(std::memory_order_relaxed)) {
-        auto G = Scheme.enter(1 + W);
-        auto *N = new StallNode();
-        Scheme.initNode(G, headerOf<S>(N));
-        X = X * 6364136223846793005ULL + 1;
-        auto *Old = Cells[(X >> 33) & 63].exchange(N);
-        if (Old)
-          Scheme.retire(G, reinterpret_cast<typename S::NodeHeader *>(
-                               Old->Header));
-        Scheme.leave(G);
-        if (OpsDone.fetch_add(1, std::memory_order_relaxed) >= TotalOps)
-          break;
-      }
-    });
-
-  int64_t NextSample = 0;
-  while (OpsDone.load(std::memory_order_relaxed) < TotalOps) {
-    const int64_t Done = OpsDone.load(std::memory_order_relaxed);
-    if (Done >= NextSample) {
-      std::printf("%s,%lld,%lld\n", Name, static_cast<long long>(Done),
-                  static_cast<long long>(Scheme.memCounter().unreclaimed()));
-      std::fflush(stdout);
-      NextSample += SamplePeriod;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  Stop.store(true);
-  for (auto &T : Ts)
-    T.join();
-  std::printf("%s,%lld,%lld\n", Name,
-              static_cast<long long>(OpsDone.load()),
-              static_cast<long long>(Scheme.memCounter().unreclaimed()));
-
-  // Resume and drain so the scheme destructs cleanly.
-  Scheme.leave(Stalled);
-  auto G = Scheme.enter(0);
-  for (auto &Cell : Cells)
-    if (auto *N = Cell.exchange(nullptr))
-      Scheme.retire(G, reinterpret_cast<typename S::NodeHeader *>(N->Header));
-  Scheme.leave(G);
-}
-
-} // namespace
+#include "suites.h"
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const bool Full = Cmd.has("full");
-  const int64_t TotalOps = Cmd.getInt("ops", Full ? 2000000 : 200000);
-  const unsigned Writers =
-      static_cast<unsigned>(Cmd.getInt("writers", 4));
-  const int64_t Period = Cmd.getInt("sample", TotalOps / 10);
-
-  std::printf("# robustness under a stalled reader: %lld churn ops, %u "
-              "writers\n",
-              static_cast<long long>(TotalOps), Writers);
-  std::printf("scheme,ops_done,unreclaimed\n");
-  runStall<smr::EBR>("epoch", TotalOps, Writers, Period);
-  runStall<core::Hyaline>("hyaline", TotalOps, Writers, Period);
-  runStall<core::Hyaline1>("hyaline1", TotalOps, Writers, Period);
-  runStall<smr::HP>("hp", TotalOps, Writers, Period);
-  runStall<smr::HE>("he", TotalOps, Writers, Period);
-  runStall<smr::IBR>("ibr", TotalOps, Writers, Period);
-  runStall<core::HyalineS>("hyalines", TotalOps, Writers, Period);
-  runStall<core::Hyaline1S>("hyaline1s", TotalOps, Writers, Period);
-  std::printf("# robust schemes should plateau; epoch/hyaline/hyaline1 "
-              "grow with the churn\n");
-  return 0;
+  return lfsmr::bench::deprecatedMain("robustness_stall", "stall", argc,
+                                      argv);
 }

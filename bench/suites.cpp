@@ -1,0 +1,651 @@
+//===- bench/suites.cpp - lfsmr-bench suite registry ----------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites.h"
+
+#include "bench_common.h"
+
+#include "core/hyaline.h"
+#include "core/hyaline1.h"
+#include "core/hyaline1s.h"
+#include "core/hyaline_packed.h"
+#include "core/hyaline_s.h"
+#include "smr/ebr.h"
+#include "smr/he.h"
+#include "smr/hp.h"
+#include "smr/ibr.h"
+#include "smr/nomm.h"
+#include "smr/reclaimer_traits.h"
+#include "smr/scheme_list.h"
+#include "support/barrier.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <thread>
+#include <type_traits>
+
+using namespace lfsmr;
+using namespace lfsmr::bench;
+
+//===----------------------------------------------------------------------===//
+// Figure sweeps (list / hashmap / nmtree / bonsai)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void runListSuite(const CommandLine &Cmd, report::Report &Rep) {
+  runSweep("list", "list",
+           {Panel{"fig11a+12a", harness::WriteMix, "HM list, write 50i/50d"},
+            Panel{"fig11d+12d", harness::ReadMix, "HM list, read 90g/10p"}},
+           parseSweep(Cmd), Rep);
+}
+
+void runHashMapSuite(const CommandLine &Cmd, report::Report &Rep) {
+  runSweep("hashmap", "hashmap",
+           {Panel{"fig11b+12b", harness::WriteMix, "Michael hash map, write"},
+            Panel{"fig11e+12e", harness::ReadMix, "Michael hash map, read"}},
+           parseSweep(Cmd), Rep);
+}
+
+void runNMTreeSuite(const CommandLine &Cmd, report::Report &Rep) {
+  runSweep("nmtree", "nmtree",
+           {Panel{"fig11c+12c", harness::WriteMix, "NM tree, write 50i/50d"},
+            Panel{"fig11f+12f", harness::ReadMix, "NM tree, read 90g/10p"}},
+           parseSweep(Cmd), Rep);
+}
+
+void runBonsaiSuite(const CommandLine &Cmd, report::Report &Rep) {
+  runSweep("bonsai", "bonsai",
+           {Panel{"fig13a+13c", harness::WriteMix, "Bonsai tree, write 50i/50d"},
+            Panel{"fig13b", harness::ReadMix, "Bonsai tree, read 90g/10p"}},
+           parseSweep(Cmd), Rep);
+}
+
+//===----------------------------------------------------------------------===//
+// enter-leave: SMR primitive microbenchmarks (paper Section 3.2 "Costs")
+//===----------------------------------------------------------------------===//
+
+/// Raw-storage node usable with any scheme's NodeHeader.
+struct RawNode {
+  alignas(16) char Header[64];
+  uint64_t Payload;
+};
+
+template <typename S> void deleteRawNode(void *Hdr, void *) {
+  delete reinterpret_cast<RawNode *>(Hdr);
+}
+
+template <typename S> typename S::NodeHeader *headerOf(RawNode *N) {
+  static_assert(sizeof(typename S::NodeHeader) <= sizeof(N->Header));
+  return new (N->Header) typename S::NodeHeader();
+}
+
+struct MicroOptions {
+  std::vector<int64_t> Threads;
+  double Secs;
+  unsigned Repeats;
+  std::vector<std::string> Schemes;
+};
+
+/// Per-thread operation cap for the non-allocating primitives — a
+/// backstop only, far above what a timed run reaches.
+constexpr uint64_t MicroOpsCap = uint64_t{1} << 40;
+
+/// Per-thread backstop cap for alloc_retire (memory stays bounded per
+/// scheme: reclaiming schemes drain as the run progresses, and NoMM uses
+/// discard() below). Early exit is harmless to throughput: the rate math
+/// uses each worker's own measured interval.
+constexpr uint64_t AllocOpsCap = uint64_t{1} << 24;
+
+/// Runs \p Body (thread index -> op count) on \p Threads workers for
+/// roughly \p Secs. A worker that hits its op cap exits early, so the
+/// aggregate throughput sums per-worker rates over each worker's own
+/// measured interval rather than dividing by the sleep duration.
+template <typename Body>
+void timedPhase(unsigned Threads, double Secs, Body &&Fn, double &MopsOut,
+                uint64_t &OpsOut, double &ElapsedOut) {
+  SpinBarrier Barrier(Threads + 1);
+  std::atomic<bool> Stop{false};
+  std::vector<uint64_t> Ops(Threads, 0);
+  std::vector<double> Took(Threads, 0.0);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Barrier.arriveAndWait();
+      const auto Begin = std::chrono::steady_clock::now();
+      Ops[T] = Fn(T, Stop);
+      Took[T] = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Begin)
+                    .count();
+    });
+  Barrier.arriveAndWait();
+  std::this_thread::sleep_for(std::chrono::duration<double>(Secs));
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &W : Workers)
+    W.join();
+  double RateSum = 0, MaxTook = 0;
+  uint64_t Total = 0;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Total += Ops[T];
+    if (Took[T] > 0)
+      RateSum += static_cast<double>(Ops[T]) / Took[T];
+    if (Took[T] > MaxTook)
+      MaxTook = Took[T];
+  }
+  MopsOut = RateSum / 1e6;
+  OpsOut = Total;
+  ElapsedOut = MaxTook;
+}
+
+/// Shared state for one timed primitive run (one scheme instance).
+struct MicroCtx {
+  std::atomic<RawNode *> Cell{nullptr}; ///< published node for deref
+};
+
+/// The three primitive benchmarks for one scheme type.
+template <typename S> struct MicroSuiteOp {
+  using IterFn = uint64_t (*)(S &, MicroCtx &, unsigned,
+                              std::atomic<bool> &);
+  using HookFn = void (*)(S &, MicroCtx &);
+
+  static void addPrimitive(const char *Primitive, const std::string &Scheme,
+                           const MicroOptions &O, report::Report &Rep,
+                           IterFn Iter, HookFn Setup, HookFn Teardown) {
+    for (const int64_t T : O.Threads) {
+      report::DataPoint Pt;
+      Pt.Suite = "enter-leave";
+      Pt.Panel = Primitive;
+      Pt.Structure = "-";
+      Pt.Mix = "-";
+      Pt.Scheme = Scheme;
+      Pt.Threads = static_cast<unsigned>(T);
+      for (unsigned R = 0; R < O.Repeats; ++R) {
+        smr::Config C;
+        C.MaxThreads = static_cast<unsigned>(T);
+        S Instance(C, &deleteRawNode<S>, nullptr);
+        MicroCtx Ctx;
+        if (Setup)
+          Setup(Instance, Ctx);
+        double Mops = 0, Elapsed = 0;
+        uint64_t Ops = 0;
+        timedPhase(
+            static_cast<unsigned>(T), O.Secs,
+            [&](unsigned Tid, std::atomic<bool> &Stop) {
+              return Iter(Instance, Ctx, Tid, Stop);
+            },
+            Mops, Ops, Elapsed);
+        if (Teardown)
+          Teardown(Instance, Ctx);
+        Pt.Mops.add(Mops);
+        Pt.AvgUnreclaimed.add(
+            static_cast<double>(Instance.memCounter().unreclaimed()));
+        Pt.PeakUnreclaimed.add(
+            static_cast<double>(Instance.memCounter().unreclaimed()));
+        Pt.TotalOps += Ops;
+        Pt.WallSec += Elapsed;
+      }
+      Rep.addPoint(Pt);
+    }
+  }
+
+  static uint64_t enterLeaveIter(S &Scheme, MicroCtx &, unsigned Tid,
+                                 std::atomic<bool> &Stop) {
+    uint64_t Local = 0;
+    while (!Stop.load(std::memory_order_relaxed) && Local < MicroOpsCap) {
+      for (unsigned I = 0; I < 64; ++I) {
+        auto G = Scheme.enter(Tid);
+        Scheme.leave(G);
+      }
+      Local += 64;
+    }
+    return Local;
+  }
+
+  /// Publishes the shared node the deref workers read. Runs on the main
+  /// thread before the workers start (thread id 0 is reused: strictly
+  /// sequential with the workers, as in the harness prefill).
+  static void derefSetup(S &Scheme, MicroCtx &Ctx) {
+    auto G = Scheme.enter(0);
+    auto *N = new RawNode();
+    Scheme.initNode(G, headerOf<S>(N));
+    Ctx.Cell.store(N, std::memory_order_release);
+    Scheme.leave(G);
+  }
+
+  static void derefTeardown(S &Scheme, MicroCtx &Ctx) {
+    auto G = Scheme.enter(0);
+    if (auto *N = Ctx.Cell.exchange(nullptr))
+      Scheme.retire(G,
+                    reinterpret_cast<typename S::NodeHeader *>(N->Header));
+    Scheme.leave(G);
+  }
+
+  static uint64_t derefIter(S &Scheme, MicroCtx &Ctx, unsigned Tid,
+                            std::atomic<bool> &Stop) {
+    uint64_t Local = 0;
+    while (!Stop.load(std::memory_order_relaxed) && Local < MicroOpsCap) {
+      auto G = Scheme.enter(Tid);
+      for (unsigned I = 0; I < 64; ++I) {
+        auto *P = Scheme.deref(G, Ctx.Cell, 0);
+        // Keep the deref observable (the gbench DoNotOptimize idiom).
+        asm volatile("" : : "r"(P));
+        ++Local;
+      }
+      Scheme.leave(G);
+    }
+    return Local;
+  }
+
+  static uint64_t allocRetireIter(S &Scheme, MicroCtx &, unsigned Tid,
+                                  std::atomic<bool> &Stop) {
+    uint64_t Local = 0;
+    while (!Stop.load(std::memory_order_relaxed) && Local < AllocOpsCap) {
+      auto G = Scheme.enter(Tid);
+      auto *N = new RawNode();
+      auto *Hdr = headerOf<S>(N);
+      Scheme.initNode(G, Hdr);
+      if constexpr (std::is_same_v<S, smr::NoMM>) {
+        // NoMM's retire leaks by design; at --full rates that is tens of
+        // GB in one process. discard() frees with honest retire+free
+        // accounting, so nomm measures the alloc+discard round trip.
+        Scheme.discard(Hdr);
+      } else {
+        Scheme.retire(G, Hdr);
+      }
+      Scheme.leave(G);
+      ++Local;
+    }
+    return Local;
+  }
+
+  static void run(const std::string &Scheme, const MicroOptions &O,
+                  report::Report &Rep) {
+    addPrimitive("enter_leave", Scheme, O, Rep, &enterLeaveIter, nullptr,
+                 nullptr);
+    addPrimitive("deref_x64", Scheme, O, Rep, &derefIter, &derefSetup,
+                 &derefTeardown);
+    addPrimitive("alloc_retire", Scheme, O, Rep, &allocRetireIter, nullptr,
+                 nullptr);
+  }
+};
+
+/// Calls Op<ConcreteScheme>::run for the named scheme; false if unknown.
+/// The name/type pairs come from the shared smr/scheme_list.h X-macro.
+template <template <typename> class Op, typename... Args>
+bool dispatchScheme(const std::string &Name, Args &&...A) {
+#define LFSMR_DISPATCH_SCHEME(NAME, TYPE)                                    \
+  if (Name == NAME) {                                                        \
+    Op<TYPE>::run(Name, A...);                                               \
+    return true;                                                             \
+  }
+  LFSMR_FOREACH_SCHEME(LFSMR_DISPATCH_SCHEME)
+#undef LFSMR_DISPATCH_SCHEME
+  return false;
+}
+
+void runEnterLeaveSuite(const CommandLine &Cmd, report::Report &Rep) {
+  MicroOptions O;
+  const bool Full = Cmd.has("full");
+  const unsigned HW = std::thread::hardware_concurrency();
+  if (Full)
+    O.Threads = {1, 2, 4, 8, 16, 32};
+  else
+    O.Threads = {1, static_cast<int64_t>(HW ? HW : 4)};
+  O.Threads = Cmd.getIntList("threads", O.Threads);
+  checkThreadList(O.Threads);
+  O.Secs = Cmd.getDouble("secs", Full ? 2.0 : 0.1);
+  O.Repeats = static_cast<unsigned>(
+      requireAtLeastOne(Cmd.getInt("repeats", Full ? 5 : 1), "repeats"));
+  O.Schemes = Cmd.getStringList("schemes", harness::allSchemes());
+  checkSchemes(O.Schemes);
+  for (const std::string &Scheme : O.Schemes)
+    dispatchScheme<MicroSuiteOp>(Scheme, O, Rep);
+}
+
+//===----------------------------------------------------------------------===//
+// stall: stalled-reader robustness series (paper Sections 2, 4.2)
+//===----------------------------------------------------------------------===//
+
+struct StallOptions {
+  int64_t TotalOps;
+  unsigned Writers;
+  int64_t SamplePeriod;
+  uint64_t Seed;
+  std::vector<std::string> Schemes;
+};
+
+/// One reader derefs a pointer and stalls; writers churn allocate/retire
+/// cycles while the unreclaimed count is sampled. Robust schemes plateau;
+/// epoch/hyaline/hyaline1 grow linearly with the churn.
+template <typename S> struct StallOp {
+  static void run(const std::string &Name, const StallOptions &O,
+                  report::Report &Rep) {
+    smr::Config C;
+    C.MaxThreads = O.Writers + 1;
+    S Scheme(C, &deleteRawNode<S>, nullptr);
+
+    std::vector<std::atomic<RawNode *>> Cells(64);
+    for (auto &Cell : Cells)
+      Cell.store(nullptr);
+
+    // Seed one node for the stalled reader to hold.
+    auto Boot = Scheme.enter(1);
+    auto *Seed = new RawNode();
+    Scheme.initNode(Boot, headerOf<S>(Seed));
+    Cells[0].store(Seed);
+    Scheme.leave(Boot);
+
+    auto Stalled = Scheme.enter(0);
+    (void)Scheme.deref(Stalled, Cells[0], 0);
+
+    std::atomic<int64_t> OpsDone{0};
+    std::atomic<bool> Stop{false};
+    std::vector<std::thread> Ts;
+    for (unsigned W = 0; W < O.Writers; ++W)
+      Ts.emplace_back([&, W] {
+        uint64_t X = O.Seed + W + 1; // per-writer LCG stream off the seed
+        while (!Stop.load(std::memory_order_relaxed)) {
+          auto G = Scheme.enter(1 + W);
+          auto *N = new RawNode();
+          Scheme.initNode(G, headerOf<S>(N));
+          X = X * 6364136223846793005ULL + 1;
+          auto *Old = Cells[(X >> 33) & 63].exchange(N);
+          if (Old)
+            Scheme.retire(G, reinterpret_cast<typename S::NodeHeader *>(
+                                 Old->Header));
+          Scheme.leave(G);
+          if (OpsDone.fetch_add(1, std::memory_order_relaxed) >= O.TotalOps)
+            break;
+        }
+      });
+
+    const auto AddSample = [&](int64_t Done, int64_t Unreclaimed) {
+      report::DataPoint Pt;
+      Pt.Suite = "stall";
+      Pt.Panel = "series";
+      Pt.Structure = "-";
+      Pt.Mix = "-";
+      Pt.Scheme = Name;
+      Pt.Threads = O.Writers;
+      Pt.TotalOps = static_cast<uint64_t>(Done);
+      Pt.AvgUnreclaimed.add(static_cast<double>(Unreclaimed));
+      Pt.PeakUnreclaimed.add(static_cast<double>(Unreclaimed));
+      Rep.addPoint(Pt);
+    };
+
+    int64_t NextSample = 0;
+    while (OpsDone.load(std::memory_order_relaxed) < O.TotalOps) {
+      const int64_t Done = OpsDone.load(std::memory_order_relaxed);
+      if (Done >= NextSample) {
+        AddSample(Done, Scheme.memCounter().unreclaimed());
+        NextSample += O.SamplePeriod;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    Stop.store(true);
+    for (auto &T : Ts)
+      T.join();
+    AddSample(OpsDone.load(), Scheme.memCounter().unreclaimed());
+
+    // Resume and drain so the scheme destructs cleanly.
+    Scheme.leave(Stalled);
+    auto G = Scheme.enter(0);
+    for (auto &Cell : Cells)
+      if (auto *N = Cell.exchange(nullptr))
+        Scheme.retire(G,
+                      reinterpret_cast<typename S::NodeHeader *>(N->Header));
+    Scheme.leave(G);
+  }
+};
+
+void runStallSuite(const CommandLine &Cmd, report::Report &Rep) {
+  StallOptions O;
+  const bool Full = Cmd.has("full");
+  O.TotalOps =
+      requireAtLeastOne(Cmd.getInt("ops", Full ? 2000000 : 200000), "ops");
+  O.Writers = static_cast<unsigned>(
+      requireAtLeastOne(Cmd.getInt("writers", 4), "writers"));
+  O.SamplePeriod = requireAtLeastOne(
+      Cmd.getInt("sample", std::max<int64_t>(O.TotalOps / 10, 1)), "sample");
+  O.Seed = static_cast<uint64_t>(Cmd.getInt("seed", 0x5eed));
+  // NoMM never reclaims, so a stalled-reader series says nothing new.
+  O.Schemes = Cmd.getStringList(
+      "schemes", {"epoch", "hyaline", "hyaline1", "hp", "he", "ibr",
+                  "hyalines", "hyaline1s"});
+  checkSchemes(O.Schemes);
+  for (const std::string &Scheme : O.Schemes) {
+    if (Scheme == "nomm") {
+      Rep.note("stall: skipping nomm (never reclaims; series is trivial)");
+      continue;
+    }
+    dispatchScheme<StallOp>(Scheme, O, Rep);
+  }
+  Rep.note("stall: robust schemes (hp/he/ibr/hyalines/hyaline1s) should "
+           "plateau; epoch/hyaline/hyaline1 grow with the churn");
+}
+
+//===----------------------------------------------------------------------===//
+// table1: qualitative comparison with measured header sizes
+//===----------------------------------------------------------------------===//
+
+template <typename S>
+report::QualRow qualRow(const char *PaperHeader) {
+  const smr::SchemeTraits &T = smr::ReclaimerTraits<S>::Row;
+  report::QualRow R;
+  R.Name = T.Name;
+  R.BasedOn = T.BasedOn;
+  R.Performance = T.Performance;
+  R.Robust = T.Robust;
+  R.Transparent = T.Transparent;
+  R.HeaderBytes = T.HeaderBytes;
+  R.PaperHeader = PaperHeader;
+  R.Api = T.Api;
+  R.NeedsDeref = T.NeedsDeref;
+  R.NeedsIndices = T.NeedsIndices;
+  R.SupportsBonsai = T.SupportsBonsai;
+  return R;
+}
+
+void runTable1Suite(const CommandLine &, report::Report &Rep) {
+  Rep.addQualRow(qualRow<smr::HP>("1 word"));
+  Rep.addQualRow(qualRow<smr::EBR>("1 word [*]"));
+  Rep.addQualRow(qualRow<smr::HE>("3 words"));
+  Rep.addQualRow(qualRow<smr::IBR>("3 words"));
+  Rep.addQualRow(qualRow<core::Hyaline>("3 words"));
+  Rep.addQualRow(qualRow<core::Hyaline1>("3 words"));
+  Rep.addQualRow(qualRow<core::HyalineS>("3 words"));
+  Rep.addQualRow(qualRow<core::Hyaline1S>("3 words"));
+  Rep.addQualRow(qualRow<smr::NoMM>("n/a"));
+  Rep.note("[*] the paper's 1-word EBR assumes per-epoch retire lists; "
+           "this implementation stamps the retire epoch per node (the "
+           "variant the paper benchmarks), costing one extra word");
+  Rep.note("deref required: HP, HE, IBR, Hyaline-S, Hyaline-1S; indices "
+           "required: HP, HE; Bonsai-capable: all except HP, HE");
+}
+
+//===----------------------------------------------------------------------===//
+// Registry, usage, entry points
+//===----------------------------------------------------------------------===//
+
+/// Every flag any suite understands. One union set: common flags stay
+/// accepted (and ignored) by suites that do not consume them, so `all`
+/// can pass one flag vector to every suite.
+const std::vector<std::string> &knownFlags() {
+  static const std::vector<std::string> Flags = {
+      "help",    "format",  "out",     "full",   "seed",
+      "threads", "secs",    "repeats", "keyrange", "prefill",
+      "schemes", "ops",     "writers", "sample"};
+  return Flags;
+}
+
+std::string joinCommand(int Argc, char **Argv) {
+  std::string Out;
+  for (int I = 0; I < Argc; ++I) {
+    if (I)
+      Out.push_back(' ');
+    Out += Argv[I];
+  }
+  return Out;
+}
+
+int runSuites(const std::vector<const Suite *> &Suites,
+              const CommandLine &Cmd, const char *DefaultFormat,
+              std::string Command) {
+  report::Format Fmt;
+  const std::string FmtName = Cmd.getString("format", DefaultFormat);
+  if (!report::parseFormat(FmtName, Fmt)) {
+    std::fprintf(stderr,
+                 "error: unknown --format '%s' (expected json, csv, or "
+                 "human)\n",
+                 FmtName.c_str());
+    return 2;
+  }
+
+  std::FILE *Out = stdout;
+  const std::string OutPath = Cmd.getString("out", "");
+  if (!OutPath.empty()) {
+    Out = std::fopen(OutPath.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot open --out file '%s'\n",
+                   OutPath.c_str());
+      return 2;
+    }
+  }
+
+  report::RunMetadata Meta = report::collectMetadata();
+  Meta.Command = std::move(Command);
+  Meta.Seed = static_cast<uint64_t>(Cmd.getInt("seed", 0x5eed));
+  for (const Suite *S : Suites)
+    Meta.Suites.push_back(S->Name);
+
+  {
+    report::Report Rep(Fmt, Out);
+    Rep.setMetadata(std::move(Meta));
+    for (const Suite *S : Suites)
+      S->Run(Cmd, Rep);
+    Rep.finish();
+  }
+  if (Out != stdout)
+    std::fclose(Out);
+  return 0;
+}
+
+} // namespace
+
+const std::vector<Suite> &lfsmr::bench::allSuites() {
+  static const std::vector<Suite> Suites = {
+      {"list", "Harris-Michael list sweep (Fig. 11a/11d, 12a/12d)",
+       &runListSuite},
+      {"hashmap", "Michael hash-map sweep (Fig. 11b/11e, 12b/12e)",
+       &runHashMapSuite},
+      {"nmtree", "Natarajan-Mittal tree sweep (Fig. 11c/11f, 12c/12f)",
+       &runNMTreeSuite},
+      {"bonsai", "Bonsai tree sweep (Fig. 13)", &runBonsaiSuite},
+      {"enter-leave", "SMR primitive microbenchmarks (Section 3.2 costs)",
+       &runEnterLeaveSuite},
+      {"stall", "stalled-reader robustness series (Theorem 5)",
+       &runStallSuite},
+      {"table1", "qualitative comparison, measured header sizes (Table 1)",
+       &runTable1Suite},
+  };
+  return Suites;
+}
+
+void lfsmr::bench::printUsage(std::FILE *Out) {
+  std::fprintf(Out, "usage: lfsmr-bench <suite> [flags]\n\nsuites:\n");
+  for (const Suite &S : allSuites())
+    std::fprintf(Out, "  %-12s %s\n", S.Name, S.Description);
+  std::fprintf(Out, "  %-12s %s\n", "all",
+               "every suite above, one combined report");
+  std::fprintf(
+      Out,
+      "\nflags:\n"
+      "  --format json|csv|human   output format (default human)\n"
+      "  --out FILE                write the report to FILE\n"
+      "  --full                    paper-sized parameters (10 s x 5 "
+      "repeats, dense sweep)\n"
+      "  --threads 1,4,8           thread counts to sweep\n"
+      "  --secs S                  measured seconds per data point\n"
+      "  --repeats N               repeats per data point\n"
+      "  --schemes a,b             scheme subset (default: all)\n"
+      "  --keyrange N --prefill N  key space / prefill size\n"
+      "  --seed S                  base suite seed (repeat R uses S+R)\n"
+      "  --ops N --writers N --sample N   stall-suite churn parameters\n"
+      "  --help                    this message\n");
+}
+
+int lfsmr::bench::benchMain(int Argc, char **Argv) {
+  const CommandLine Cmd(Argc, Argv);
+  if (Cmd.has("help")) {
+    printUsage(stdout);
+    return 0;
+  }
+  const std::vector<std::string> Unknown = Cmd.unknownFlags(knownFlags());
+  if (!Unknown.empty()) {
+    std::fprintf(stderr, "error: unknown flag --%s\n\n", Unknown[0].c_str());
+    printUsage(stderr);
+    return 2;
+  }
+  if (Cmd.positional().size() != 1) {
+    std::fprintf(stderr, "error: expected exactly one suite name\n\n");
+    printUsage(stderr);
+    return 2;
+  }
+
+  const std::string Name = Cmd.positional()[0];
+  std::vector<const Suite *> Run;
+  if (Name == "all") {
+    for (const Suite &S : allSuites())
+      Run.push_back(&S);
+  } else {
+    for (const Suite &S : allSuites())
+      if (Name == S.Name)
+        Run.push_back(&S);
+    if (Run.empty()) {
+      std::fprintf(stderr, "error: unknown suite '%s'\n\n", Name.c_str());
+      printUsage(stderr);
+      return 2;
+    }
+  }
+  return runSuites(Run, Cmd, /*DefaultFormat=*/"human",
+                   joinCommand(Argc, Argv));
+}
+
+int lfsmr::bench::deprecatedMain(const char *OldName, const char *SuiteName,
+                                 int Argc, char **Argv) {
+  // table1 was a human-readable table before; the sweeps printed CSV.
+  const char *DefaultFormat =
+      std::strcmp(SuiteName, "table1") == 0 ? "human" : "csv";
+  std::fprintf(stderr,
+               "note: %s is deprecated; use `lfsmr-bench %s` (this shim "
+               "forwards with --format %s by default)\n",
+               OldName, SuiteName, DefaultFormat);
+  const CommandLine Cmd(Argc, Argv);
+  if (Cmd.has("help")) {
+    printUsage(stdout);
+    return 0;
+  }
+  const std::vector<std::string> Unknown = Cmd.unknownFlags(knownFlags());
+  if (!Unknown.empty()) {
+    std::fprintf(stderr, "error: unknown flag --%s\n\n", Unknown[0].c_str());
+    printUsage(stderr);
+    return 2;
+  }
+  const Suite *Found = nullptr;
+  for (const Suite &S : allSuites())
+    if (std::strcmp(SuiteName, S.Name) == 0)
+      Found = &S;
+  if (!Found) {
+    std::fprintf(stderr, "error: unknown suite '%s'\n", SuiteName);
+    return 2;
+  }
+  return runSuites({Found}, Cmd, DefaultFormat, joinCommand(Argc, Argv));
+}

@@ -1,0 +1,66 @@
+//===- bench/suites.h - lfsmr-bench suite registry ---------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registered benchmark suites behind the unified `lfsmr-bench`
+/// binary. Each suite descriptor maps one subcommand to the code that
+/// regenerates a slice of the paper's evaluation:
+///
+///   list        Harris-Michael list        (Fig. 11a/11d + 12a/12d)
+///   hashmap     Michael hash map           (Fig. 11b/11e + 12b/12e)
+///   nmtree      Natarajan-Mittal tree      (Fig. 11c/11f + 12c/12f)
+///   bonsai      Bonsai tree                (Fig. 13)
+///   enter-leave SMR primitive microbench   (Section 3.2 costs)
+///   stall       stalled-reader robustness  (Theorem 5 / Section 4.2)
+///   table1      qualitative comparison     (Table 1, measured headers)
+///   all         every suite above, one report
+///
+/// Every suite writes through the structured report layer
+/// (support/report.h), so one invocation yields one JSON/CSV/human
+/// document carrying run metadata. The deprecated per-figure binaries
+/// forward here via deprecatedMain().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_BENCH_SUITES_H
+#define LFSMR_BENCH_SUITES_H
+
+#include "support/cli.h"
+#include "support/report.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lfsmr::bench {
+
+/// One registered subcommand.
+struct Suite {
+  const char *Name;        ///< subcommand, e.g. "hashmap"
+  const char *Description; ///< one-line summary for --help
+  void (*Run)(const CommandLine &Cmd, report::Report &Rep);
+};
+
+/// All suites in presentation order ("all" is synthesized, not listed).
+const std::vector<Suite> &allSuites();
+
+/// Prints the subcommand/flag reference to \p Out.
+void printUsage(std::FILE *Out);
+
+/// Entry point of `lfsmr-bench`: parses the subcommand, rejects unknown
+/// flags/suites/schemes with a usage message, runs the suite(s) into a
+/// report. Returns the process exit code.
+int benchMain(int Argc, char **Argv);
+
+/// Entry point of the deprecated per-figure binaries: prints a pointer to
+/// the `lfsmr-bench` subcommand on stderr, then runs \p SuiteName with
+/// the legacy-friendly CSV default format.
+int deprecatedMain(const char *OldName, const char *SuiteName, int Argc,
+                   char **Argv);
+
+} // namespace lfsmr::bench
+
+#endif // LFSMR_BENCH_SUITES_H

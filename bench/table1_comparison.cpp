@@ -1,64 +1,21 @@
-//===- bench/table1_comparison.cpp - Table 1 ------------------------------===//
+//===- bench/table1_comparison.cpp - DEPRECATED shim (`lfsmr-bench table1`)=//
 //
 // Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Regenerates the paper's Table 1 ("Comparison of Hyaline with existing
-/// SMR approaches") from this implementation: the qualitative columns come
-/// from compile-time scheme traits, and the header size column is
-/// *measured* (sizeof of the real per-node header), so the table reports
-/// what this code actually costs rather than restating the paper.
-///
-/// Differences from the paper's table are flagged: this implementation's
-/// EBR header is 2 words (link + retire epoch; the paper's 1-word figure
-/// assumes per-epoch retire lists instead of per-node stamps).
+/// Deprecated binary: forwards to the `table1` suite of the unified
+/// `lfsmr-bench` orchestrator, which regenerates the paper's Table 1
+/// from compile-time scheme traits with *measured* per-node header
+/// sizes. Defaults to `--format human` (the table); `--format json`
+/// emits the rows machine-readably under the `table1` key.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "smr/reclaimer_traits.h"
+#include "suites.h"
 
-#include <cstdio>
-
-using namespace lfsmr;
-using namespace lfsmr::smr;
-
-namespace {
-
-void printRow(const SchemeTraits &T, const char *PaperHeader) {
-  std::printf("| %-10s | %-22s | %-8s | %-4s | %-11s | %2zu B (paper: %-14s | %-9s |\n",
-              T.Name, T.BasedOn, T.Performance, T.Robust, T.Transparent,
-              T.HeaderBytes, PaperHeader, T.Api);
-}
-
-} // namespace
-
-int main() {
-  std::printf("Table 1: comparison of Hyaline with SMR baselines "
-              "(measured header sizes)\n\n");
-  std::printf("| %-10s | %-22s | %-8s | %-4s | %-11s | %-31s | %-9s |\n",
-              "Scheme", "Based on", "Perf.", "Rob.", "Transparent",
-              "Header size", "Usage/API");
-  std::printf("|------------|------------------------|----------|------|"
-              "-------------|---------------------------------|-----------|\n");
-  printRow(ReclaimerTraits<HP>::Row, "1 word)");
-  printRow(ReclaimerTraits<EBR>::Row, "1 word [*])");
-  printRow(ReclaimerTraits<HE>::Row, "3 words)");
-  printRow(ReclaimerTraits<IBR>::Row, "3 words)");
-  printRow(ReclaimerTraits<core::Hyaline>::Row, "3 words)");
-  printRow(ReclaimerTraits<core::Hyaline1>::Row, "3 words)");
-  printRow(ReclaimerTraits<core::HyalineS>::Row, "3 words)");
-  printRow(ReclaimerTraits<core::Hyaline1S>::Row, "3 words)");
-  printRow(ReclaimerTraits<NoMM>::Row, "n/a)");
-
-  std::printf("\n[*] The paper's 1-word EBR assumes per-epoch retire "
-              "lists; this implementation\n    stamps the retire epoch "
-              "per node (the variant of [Wen et al.] the paper\n    "
-              "benchmarks), costing one extra word.\n");
-  std::printf("\nderef required:   HP, HE, IBR, Hyaline-S, Hyaline-1S\n");
-  std::printf("indices required: HP, HE\n");
-  std::printf("Bonsai-capable:   all except HP, HE (unbounded "
-              "per-operation protections)\n");
-  return 0;
+int main(int argc, char **argv) {
+  return lfsmr::bench::deprecatedMain("table1_comparison", "table1", argc,
+                                      argv);
 }

@@ -11,6 +11,7 @@
 #include "ds/michael_hashmap.h"
 #include "ds/nm_tree.h"
 #include "smr/reclaimer_traits.h"
+#include "smr/scheme_list.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -22,8 +23,19 @@ using namespace lfsmr::harness;
 
 const std::vector<std::string> &lfsmr::harness::allSchemes() {
   static const std::vector<std::string> Names = {
-      "nomm",     "epoch",    "hyaline",   "hyaline1", "hyalines",
-      "hyaline1s", "ibr",     "he",        "hp"};
+#define LFSMR_SCHEME_NAME(NAME, TYPE) NAME,
+      LFSMR_FOREACH_PAPER_SCHEME(LFSMR_SCHEME_NAME)
+#undef LFSMR_SCHEME_NAME
+  };
+  return Names;
+}
+
+const std::vector<std::string> &lfsmr::harness::runnableSchemes() {
+  static const std::vector<std::string> Names = {
+#define LFSMR_SCHEME_NAME(NAME, TYPE) NAME,
+      LFSMR_FOREACH_SCHEME(LFSMR_SCHEME_NAME)
+#undef LFSMR_SCHEME_NAME
+  };
   return Names;
 }
 
@@ -117,26 +129,11 @@ bool lfsmr::harness::isSupported(const std::string &Scheme,
 }
 
 RunResult lfsmr::harness::runOne(const RunSpec &Spec) {
-  if (Spec.Scheme == "nomm")
-    return runScheme<smr::NoMM>(Spec);
-  if (Spec.Scheme == "epoch")
-    return runScheme<smr::EBR>(Spec);
-  if (Spec.Scheme == "hp")
-    return runScheme<smr::HP>(Spec);
-  if (Spec.Scheme == "he")
-    return runScheme<smr::HE>(Spec);
-  if (Spec.Scheme == "ibr")
-    return runScheme<smr::IBR>(Spec);
-  if (Spec.Scheme == "hyaline")
-    return runScheme<core::Hyaline>(Spec);
-  if (Spec.Scheme == "hyalinep")
-    return runScheme<core::HyalinePacked>(Spec);
-  if (Spec.Scheme == "hyaline1")
-    return runScheme<core::Hyaline1>(Spec);
-  if (Spec.Scheme == "hyalines")
-    return runScheme<core::HyalineS>(Spec);
-  if (Spec.Scheme == "hyaline1s")
-    return runScheme<core::Hyaline1S>(Spec);
+#define LFSMR_RUN_SCHEME(NAME, TYPE)                                         \
+  if (Spec.Scheme == NAME)                                                   \
+    return runScheme<TYPE>(Spec);
+  LFSMR_FOREACH_SCHEME(LFSMR_RUN_SCHEME)
+#undef LFSMR_RUN_SCHEME
   std::fprintf(stderr, "error: unknown scheme '%s'\n", Spec.Scheme.c_str());
   std::exit(2);
 }

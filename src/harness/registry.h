@@ -38,6 +38,11 @@ struct RunSpec {
 /// All scheme names, in the paper's presentation order.
 const std::vector<std::string> &allSchemes();
 
+/// Every scheme runnable by name: the paper lineup plus ablation
+/// variants (currently "hyalinep"). One list, generated from
+/// smr/scheme_list.h.
+const std::vector<std::string> &runnableSchemes();
+
 /// All data-structure names.
 const std::vector<std::string> &allStructures();
 

@@ -29,12 +29,16 @@
 
 namespace lfsmr::harness {
 
-/// One measured data point.
+/// One measured data point (a single benchmark repeat). The report layer
+/// aggregates several RunResults into per-repeat RunStats so the emitted
+/// telemetry can include stddev and the p50/p99 repeat spread.
 struct RunResult {
   double Mops = 0;            ///< throughput, million operations/second
   double AvgUnreclaimed = 0;  ///< mean retired-not-yet-freed objects
   uint64_t TotalOps = 0;      ///< raw operation count
   int64_t PeakUnreclaimed = 0;///< max sampled unreclaimed count
+  double ElapsedSec = 0;      ///< measured wall time of this repeat
+  uint64_t MemSamples = 0;    ///< unreclaimed-count samples taken
 };
 
 /// Inserts \p Count distinct keys drawn from [0, KeyRange) — the generic
@@ -125,6 +129,8 @@ RunResult runMeasured(DS &Ds, const WorkloadMix &Mix,
   R.AvgUnreclaimed = Samples ? SumUnreclaimed / static_cast<double>(Samples)
                              : static_cast<double>(MC.unreclaimed());
   R.PeakUnreclaimed = PeakUnreclaimed;
+  R.ElapsedSec = Elapsed;
+  R.MemSamples = Samples;
   return R;
 }
 

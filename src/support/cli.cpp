@@ -82,6 +82,23 @@ double CommandLine::getDouble(const std::string &Name, double Default) const {
   return V;
 }
 
+/// Splits \p Value on commas, dropping empty elements.
+static std::vector<std::string> splitList(const std::string &Value) {
+  std::vector<std::string> Out;
+  std::string Item;
+  for (std::size_t I = 0; I <= Value.size(); ++I) {
+    if (I == Value.size() || Value[I] == ',') {
+      if (!Item.empty()) {
+        Out.push_back(Item);
+        Item.clear();
+      }
+      continue;
+    }
+    Item.push_back(Value[I]);
+  }
+  return Out;
+}
+
 std::vector<int64_t>
 CommandLine::getIntList(const std::string &Name,
                         const std::vector<int64_t> &Default) const {
@@ -89,16 +106,48 @@ CommandLine::getIntList(const std::string &Name,
   if (!F || !F->HasValue)
     return Default;
   std::vector<int64_t> Out;
-  std::string Item;
-  for (std::size_t I = 0; I <= F->Value.size(); ++I) {
-    if (I == F->Value.size() || F->Value[I] == ',') {
-      if (!Item.empty()) {
-        Out.push_back(std::strtoll(Item.c_str(), nullptr, 10));
-        Item.clear();
-      }
-      continue;
+  for (const std::string &Item : splitList(F->Value)) {
+    char *End = nullptr;
+    const long long V = std::strtoll(Item.c_str(), &End, 10);
+    if (End == Item.c_str() || *End != '\0') {
+      std::fprintf(stderr,
+                   "error: flag --%s expects a comma-separated integer "
+                   "list, got '%s'\n",
+                   Name.c_str(), F->Value.c_str());
+      std::exit(2);
     }
-    Item.push_back(F->Value[I]);
+    Out.push_back(V);
+  }
+  return Out;
+}
+
+std::vector<std::string>
+CommandLine::getStringList(const std::string &Name,
+                           const std::vector<std::string> &Default) const {
+  const Flag *F = find(Name);
+  if (!F || !F->HasValue)
+    return Default;
+  return splitList(F->Value);
+}
+
+std::vector<std::string>
+CommandLine::unknownFlags(const std::vector<std::string> &Known) const {
+  std::vector<std::string> Out;
+  for (const Flag &F : Flags) {
+    bool IsKnown = false;
+    for (const std::string &K : Known)
+      if (F.Name == K) {
+        IsKnown = true;
+        break;
+      }
+    bool Reported = false;
+    for (const std::string &U : Out)
+      if (F.Name == U) {
+        Reported = true;
+        break;
+      }
+    if (!IsKnown && !Reported)
+      Out.push_back(F.Name);
   }
   return Out;
 }

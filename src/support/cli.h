@@ -43,9 +43,23 @@ public:
   double getDouble(const std::string &Name, double Default) const;
 
   /// Returns a comma-separated integer list (e.g. --threads 1,2,4),
-  /// or Default if absent.
+  /// or Default if absent. Exits with an error message on a malformed
+  /// element.
   std::vector<int64_t> getIntList(const std::string &Name,
                                   const std::vector<int64_t> &Default) const;
+
+  /// Returns a comma-separated string list (e.g. --schemes epoch,hp),
+  /// or Default if absent. Empty elements are dropped.
+  std::vector<std::string>
+  getStringList(const std::string &Name,
+                const std::vector<std::string> &Default) const;
+
+  /// Returns every flag present on the command line whose name is not in
+  /// \p Known, in order of first appearance. Binaries pass their full
+  /// flag vocabulary and reject a non-empty result with a usage message,
+  /// so a typo like `--treads 8` cannot silently run the default sweep.
+  std::vector<std::string>
+  unknownFlags(const std::vector<std::string> &Known) const;
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string> &positional() const { return Positional; }

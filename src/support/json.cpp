@@ -1,0 +1,157 @@
+//===- support/json.cpp - Minimal streaming JSON writer -------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace lfsmr;
+using namespace lfsmr::json;
+
+std::string json::escape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void Writer::indent() {
+  Out.push_back('\n');
+  Out.append(2 * Stack.size(), ' ');
+}
+
+void Writer::preValue(bool IsKey) {
+  if (Stack.empty())
+    return; // top-level value: no separator
+  Level &L = Stack.back();
+  if (!L.IsArray && !IsKey && L.KeyPending) {
+    // Value completing a `key:`; stays on the key's line.
+    L.KeyPending = false;
+    return;
+  }
+  if (L.Members++)
+    Out.push_back(',');
+  indent();
+}
+
+Writer &Writer::beginObject() {
+  preValue(/*IsKey=*/false);
+  Out.push_back('{');
+  Stack.push_back({/*IsArray=*/false});
+  return *this;
+}
+
+Writer &Writer::endObject() {
+  const bool Empty = Stack.empty() || Stack.back().Members == 0;
+  if (!Stack.empty())
+    Stack.pop_back();
+  if (!Empty)
+    indent();
+  Out.push_back('}');
+  return *this;
+}
+
+Writer &Writer::beginArray() {
+  preValue(/*IsKey=*/false);
+  Out.push_back('[');
+  Stack.push_back({/*IsArray=*/true});
+  return *this;
+}
+
+Writer &Writer::endArray() {
+  const bool Empty = Stack.empty() || Stack.back().Members == 0;
+  if (!Stack.empty())
+    Stack.pop_back();
+  if (!Empty)
+    indent();
+  Out.push_back(']');
+  return *this;
+}
+
+Writer &Writer::key(std::string_view K) {
+  preValue(/*IsKey=*/true);
+  Out.push_back('"');
+  Out += escape(K);
+  Out += "\": ";
+  if (!Stack.empty())
+    Stack.back().KeyPending = true;
+  return *this;
+}
+
+Writer &Writer::value(std::string_view V) {
+  preValue(/*IsKey=*/false);
+  Out.push_back('"');
+  Out += escape(V);
+  Out.push_back('"');
+  return *this;
+}
+
+Writer &Writer::value(double V) {
+  if (!std::isfinite(V))
+    return null();
+  preValue(/*IsKey=*/false);
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  Out += Buf;
+  return *this;
+}
+
+Writer &Writer::value(int64_t V) {
+  preValue(/*IsKey=*/false);
+  Out += std::to_string(V);
+  return *this;
+}
+
+Writer &Writer::value(uint64_t V) {
+  preValue(/*IsKey=*/false);
+  Out += std::to_string(V);
+  return *this;
+}
+
+Writer &Writer::value(bool V) {
+  preValue(/*IsKey=*/false);
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+Writer &Writer::null() {
+  preValue(/*IsKey=*/false);
+  Out += "null";
+  return *this;
+}

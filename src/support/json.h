@@ -1,0 +1,92 @@
+//===- support/json.h - Minimal streaming JSON writer ------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON writer for the benchmark telemetry reports.
+/// Emits pretty-printed, RFC 8259-conformant output: strings are escaped
+/// (including control characters), commas and indentation are managed by
+/// a state stack, and non-finite doubles degrade to `null` so the
+/// document always parses. Writing only — the repo never needs to *read*
+/// JSON, so there is deliberately no parser to maintain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SUPPORT_JSON_H
+#define LFSMR_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lfsmr::json {
+
+/// Returns \p S with JSON string escaping applied (no surrounding
+/// quotes): `"` and `\` are backslash-escaped, the common control
+/// characters use their short forms, and everything else below 0x20
+/// becomes `\u00XX`. Bytes >= 0x20 pass through, so UTF-8 survives.
+std::string escape(std::string_view S);
+
+/// Builds one JSON document into a string. Usage:
+///
+/// \code
+///   json::Writer W;
+///   W.beginObject();
+///   W.key("answer").value(int64_t{42});
+///   W.key("data").beginArray().value(1.5).value("x").endArray();
+///   W.endObject();
+///   std::string Doc = W.take();
+/// \endcode
+///
+/// The writer asserts nothing; misuse (value without key inside an
+/// object) produces syntactically odd output rather than UB, and the
+/// tests pin the correct usage.
+class Writer {
+public:
+  Writer() = default;
+
+  Writer &beginObject();
+  Writer &endObject();
+  Writer &beginArray();
+  Writer &endArray();
+
+  /// Emits the member key for the next value (only inside an object).
+  Writer &key(std::string_view K);
+
+  Writer &value(std::string_view V);
+  Writer &value(const char *V) { return value(std::string_view(V)); }
+  Writer &value(const std::string &V) { return value(std::string_view(V)); }
+  /// Non-finite values (NaN/Inf have no JSON spelling) emit `null`.
+  Writer &value(double V);
+  Writer &value(int64_t V);
+  Writer &value(uint64_t V);
+  Writer &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  Writer &value(int V) { return value(static_cast<int64_t>(V)); }
+  Writer &value(bool V);
+  Writer &null();
+
+  /// The finished document. The writer is left empty.
+  std::string take() { return std::move(Out); }
+  const std::string &str() const { return Out; }
+
+private:
+  /// Inserts the comma/newline/indent that precedes a value or key.
+  void preValue(bool IsKey);
+  void indent();
+
+  struct Level {
+    bool IsArray;
+    std::size_t Members = 0;
+    bool KeyPending = false; ///< key() emitted, value not yet
+  };
+
+  std::string Out;
+  std::vector<Level> Stack;
+};
+
+} // namespace lfsmr::json
+
+#endif // LFSMR_SUPPORT_JSON_H

@@ -1,0 +1,172 @@
+//===- tests/test_cli.cpp - CommandLine parser unit tests -----------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Focused coverage of the flag parser the benchmark orchestrator relies
+/// on: every flag form, list parsing, and — the regression the ISSUE
+/// called out — unknown-flag detection, so a typo like `--treads 8` is
+/// rejected instead of silently running the default sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/cli.h"
+
+#include "gtest/gtest.h"
+
+#include <initializer_list>
+#include <vector>
+
+using namespace lfsmr;
+
+namespace {
+
+CommandLine parse(std::initializer_list<const char *> Args) {
+  std::vector<const char *> V{"lfsmr-bench"};
+  V.insert(V.end(), Args.begin(), Args.end());
+  return CommandLine(static_cast<int>(V.size()), V.data());
+}
+
+//===----------------------------------------------------------------------===
+// Flag forms
+
+TEST(CliFlags, SpaceSeparatedValue) {
+  auto C = parse({"--threads", "8"});
+  EXPECT_TRUE(C.has("threads"));
+  EXPECT_EQ(C.getInt("threads", 0), 8);
+}
+
+TEST(CliFlags, EqualsValue) {
+  auto C = parse({"--mode=full"});
+  EXPECT_EQ(C.getString("mode", ""), "full");
+}
+
+TEST(CliFlags, EqualsValueMayContainEquals) {
+  auto C = parse({"--define=a=b"});
+  EXPECT_EQ(C.getString("define", ""), "a=b");
+}
+
+TEST(CliFlags, BooleanFlag) {
+  auto C = parse({"--full"});
+  EXPECT_TRUE(C.has("full"));
+  // A boolean flag has no value; getString falls back to the default.
+  EXPECT_EQ(C.getString("full", "dflt"), "dflt");
+}
+
+TEST(CliFlags, FlagFollowedByFlagIsBoolean) {
+  auto C = parse({"--verbose", "--threads", "4"});
+  EXPECT_TRUE(C.has("verbose"));
+  EXPECT_EQ(C.getInt("threads", 0), 4);
+}
+
+TEST(CliFlags, DoubleValue) {
+  auto C = parse({"--secs", "0.25"});
+  EXPECT_DOUBLE_EQ(C.getDouble("secs", 0), 0.25);
+}
+
+TEST(CliFlags, DefaultsWhenAbsent) {
+  auto C = parse({});
+  EXPECT_FALSE(C.has("threads"));
+  EXPECT_EQ(C.getInt("threads", 7), 7);
+  EXPECT_DOUBLE_EQ(C.getDouble("secs", 1.5), 1.5);
+  EXPECT_EQ(C.getString("format", "human"), "human");
+}
+
+TEST(CliFlags, ProgramAndPositional) {
+  auto C = parse({"hashmap", "--secs", "1", "extra"});
+  EXPECT_EQ(C.program(), "lfsmr-bench");
+  ASSERT_EQ(C.positional().size(), 2u);
+  EXPECT_EQ(C.positional()[0], "hashmap");
+  EXPECT_EQ(C.positional()[1], "extra");
+}
+
+//===----------------------------------------------------------------------===
+// List parsing
+
+TEST(CliLists, IntList) {
+  auto C = parse({"--threads", "1,2,4,8"});
+  const std::vector<int64_t> L = C.getIntList("threads", {});
+  ASSERT_EQ(L.size(), 4u);
+  EXPECT_EQ(L[0], 1);
+  EXPECT_EQ(L[1], 2);
+  EXPECT_EQ(L[2], 4);
+  EXPECT_EQ(L[3], 8);
+}
+
+TEST(CliLists, IntListSingleElement) {
+  auto C = parse({"--threads=16"});
+  const std::vector<int64_t> L = C.getIntList("threads", {});
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0], 16);
+}
+
+TEST(CliLists, IntListDefault) {
+  auto C = parse({});
+  const std::vector<int64_t> L = C.getIntList("threads", {3, 5});
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[0], 3);
+  EXPECT_EQ(L[1], 5);
+}
+
+TEST(CliLists, StringList) {
+  auto C = parse({"--schemes", "epoch,hyaline,hp"});
+  const std::vector<std::string> L = C.getStringList("schemes", {});
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_EQ(L[0], "epoch");
+  EXPECT_EQ(L[1], "hyaline");
+  EXPECT_EQ(L[2], "hp");
+}
+
+TEST(CliLists, StringListDropsEmptyElements) {
+  auto C = parse({"--schemes", ",epoch,,hp,"});
+  const std::vector<std::string> L = C.getStringList("schemes", {});
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[0], "epoch");
+  EXPECT_EQ(L[1], "hp");
+}
+
+TEST(CliLists, StringListDefault) {
+  auto C = parse({});
+  const std::vector<std::string> L = C.getStringList("schemes", {"nomm"});
+  ASSERT_EQ(L.size(), 1u);
+  EXPECT_EQ(L[0], "nomm");
+}
+
+//===----------------------------------------------------------------------===
+// Unknown-flag detection
+
+TEST(CliUnknown, TypoIsDetected) {
+  auto C = parse({"--treads", "8"}); // the ISSUE's motivating typo
+  const auto U = C.unknownFlags({"threads", "secs", "repeats"});
+  ASSERT_EQ(U.size(), 1u);
+  EXPECT_EQ(U[0], "treads");
+}
+
+TEST(CliUnknown, AllKnownIsEmpty) {
+  auto C = parse({"--threads", "8", "--secs=0.5", "--full"});
+  EXPECT_TRUE(C.unknownFlags({"threads", "secs", "full"}).empty());
+}
+
+TEST(CliUnknown, PreservesFirstAppearanceOrder) {
+  auto C = parse({"--zeta", "--alpha", "--secs", "1"});
+  const auto U = C.unknownFlags({"secs"});
+  ASSERT_EQ(U.size(), 2u);
+  EXPECT_EQ(U[0], "zeta");
+  EXPECT_EQ(U[1], "alpha");
+}
+
+TEST(CliUnknown, DeduplicatesRepeats) {
+  auto C = parse({"--bogus", "1", "--bogus", "2"});
+  const auto U = C.unknownFlags({});
+  ASSERT_EQ(U.size(), 1u);
+  EXPECT_EQ(U[0], "bogus");
+}
+
+TEST(CliUnknown, PositionalsAreNotFlags) {
+  auto C = parse({"hashmap", "stray"});
+  EXPECT_TRUE(C.unknownFlags({}).empty());
+}
+
+} // namespace
