@@ -7,42 +7,41 @@
 /// \file
 /// Hyaline's transparency property (paper Sections 1-2): threads can be
 /// created and destroyed freely, join an existing workload mid-flight,
-/// and walk away after `leave` with no unregistration, no draining of
-/// retire lists, and no blocking handshake — the remaining threads absorb
-/// whatever the departed thread retired. This demo runs waves of
-/// short-lived "request handler" threads against one shared tree, the way
-/// a per-client-thread server would, recycling a small pool of thread ids.
+/// and walk away after their guard leaves with no unregistration, no
+/// draining of retire lists, and no blocking handshake — the remaining
+/// threads absorb whatever the departed thread retired. This demo runs
+/// waves of short-lived "request handler" threads against one shared
+/// tree, the way a per-client-thread server would, recycling a small pool
+/// of thread ids.
 ///
 /// Contrast: under HP/EBR-style designs each handler would have to
 /// register its hazard/epoch slots and *block* on exit until its retired
 /// nodes are reclaimable.
 ///
 /// Build & run:  ./examples/dynamic_threads [--waves 20] [--handlers 16]
+///               [--ops 20000]
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/hyaline.h"
-#include "ds/nm_tree.h"
-#include "support/cli.h"
-#include "support/random.h"
+#include "example_util.h"
+
+#include <lfsmr/lfsmr.h>
 
 #include <cstdio>
 #include <thread>
 #include <vector>
 
-using namespace lfsmr;
+using lfsmr_examples::flagValue;
+using lfsmr_examples::MiniRng;
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const int Waves = static_cast<int>(Cmd.getInt("waves", 20));
-  const unsigned Handlers =
-      static_cast<unsigned>(Cmd.getInt("handlers", 16));
-  const int OpsPerHandler =
-      static_cast<int>(Cmd.getInt("ops", 20000));
+  const int Waves = (int)flagValue(argc, argv, "--waves", 20);
+  const unsigned Handlers = (unsigned)flagValue(argc, argv, "--handlers", 16);
+  const int OpsPerHandler = (int)flagValue(argc, argv, "--ops", 20000);
 
-  smr::Config Cfg;
+  lfsmr::config Cfg;
   Cfg.MaxThreads = Handlers; // ids are recycled wave after wave
-  ds::NMTree<core::Hyaline> Tree(Cfg);
+  lfsmr::nm_tree<lfsmr::schemes::hyaline> Tree(Cfg);
 
   std::printf("dynamic threads: %d waves x %u ephemeral handlers, "
               "%d ops each\n",
@@ -54,7 +53,7 @@ int main(int argc, char **argv) {
     for (unsigned H = 0; H < Handlers; ++H)
       Pool.emplace_back([&, H, Wave] {
         // A brand-new OS thread adopts id H with zero setup...
-        Xoshiro256 Rng(uint64_t(Wave) << 32 | H);
+        MiniRng Rng(uint64_t(Wave) << 32 | H);
         for (int I = 0; I < OpsPerHandler; ++I) {
           const uint64_t K = Rng.nextBounded(4096);
           switch (Rng.nextBounded(3)) {
@@ -76,19 +75,19 @@ int main(int argc, char **argv) {
     TotalOps += uint64_t(Handlers) * OpsPerHandler;
 
     if (Wave % 5 == 4) {
-      const auto &MC = Tree.smr().memCounter();
+      const lfsmr::memory_stats MS = Tree.domain().stats();
       std::printf("  wave %2d: %9llu ops total | retired %lld | "
                   "unreclaimed %lld\n",
                   Wave + 1, (unsigned long long)TotalOps,
-                  (long long)MC.retired(), (long long)MC.unreclaimed());
+                  (long long)MS.retired, (long long)MS.unreclaimed);
     }
   }
 
-  const auto &MC = Tree.smr().memCounter();
+  const lfsmr::memory_stats MS = Tree.domain().stats();
   std::printf("done: %lld nodes allocated, %lld retired, %lld awaiting "
               "reclamation\n",
-              (long long)MC.allocated(), (long long)MC.retired(),
-              (long long)MC.unreclaimed());
+              (long long)MS.allocated, (long long)MS.retired,
+              (long long)MS.unreclaimed);
   std::printf("no handler ever registered, unregistered, or blocked on "
               "exit.\n");
   return 0;

@@ -1,0 +1,62 @@
+//===- examples/example_util.h - Shared example helpers ---------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiny flag parser and demo PRNG shared by the example programs.
+/// Deliberately self-contained (standard headers only) so the examples
+/// depend on nothing beyond the public `<lfsmr/...>` surface — they
+/// double as installable-package documentation snippets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_EXAMPLES_EXAMPLE_UTIL_H
+#define LFSMR_EXAMPLES_EXAMPLE_UTIL_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace lfsmr_examples {
+
+/// Minimal `--flag value` lookup (integer), clamped to [\p Min, \p Max].
+/// Non-numeric input parses as 0 and clamps to \p Min, so a typo cannot
+/// smuggle a zero thread/slot count into the schemes.
+inline long flagValue(int argc, char **argv, const char *Flag, long Default,
+                      long Min = 1, long Max = 1L << 30) {
+  long V = Default;
+  for (int I = 1; I + 1 < argc; ++I)
+    if (std::strcmp(argv[I], Flag) == 0)
+      V = std::atol(argv[I + 1]);
+  return V < Min ? Min : (V > Max ? Max : V);
+}
+
+/// Minimal `--flag value` lookup (floating point), clamped below by
+/// \p Min (durations must stay positive).
+inline double flagValueF(int argc, char **argv, const char *Flag,
+                         double Default, double Min = 0.01) {
+  double V = Default;
+  for (int I = 1; I + 1 < argc; ++I)
+    if (std::strcmp(argv[I], Flag) == 0)
+      V = std::atof(argv[I + 1]);
+  return V < Min ? Min : V;
+}
+
+/// splitmix64: small, seedable, good enough for a demo workload.
+struct MiniRng {
+  uint64_t State;
+  explicit MiniRng(uint64_t Seed) : State(Seed + 0x9e3779b97f4a7c15ULL) {}
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+  uint64_t nextBounded(uint64_t N) { return next() % N; }
+};
+
+} // namespace lfsmr_examples
+
+#endif // LFSMR_EXAMPLES_EXAMPLE_UTIL_H

@@ -7,44 +7,132 @@
 /// \file
 /// The paper's oversubscription scenario (Section 6; common with fibers,
 /// Go-style runtimes, or per-client server threads): run 2-4x more worker
-/// threads than cores over a high-throughput structure. Epoch-style
+/// threads than cores over a write-heavy shared structure. Epoch-style
 /// schemes suffer because a descheduled thread pins the epoch for
 /// everyone; Hyaline's asynchronous per-batch counters let whichever
 /// threads *are* running finish the reclamation (up to 2x in the paper).
 ///
+/// This demo doubles as the `lfsmr::any_domain` showcase: the scheme is
+/// selected by *runtime name*, so one binary sweeps the lineup — exactly
+/// what a server choosing its reclaimer from a config file would do. The
+/// workload itself is scheme-blind: plain structs, `create`/`retire`, no
+/// headers, no deleters.
+///
 /// Build & run:  ./examples/oversubscribed [--secs 1] [--factor 3]
+///               [--slots 512]
 ///
 //===----------------------------------------------------------------------===//
 
-#include "harness/registry.h"
-#include "support/cli.h"
+#include "example_util.h"
 
+#include <lfsmr/lfsmr.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
-using namespace lfsmr;
-using namespace lfsmr::harness;
+using lfsmr_examples::flagValue;
+using lfsmr_examples::flagValueF;
+using lfsmr_examples::MiniRng;
+
+namespace {
+
+/// A cache entry as a plain struct: no scheme header, no deleter — the
+/// runtime-selected scheme hides its header via transparent allocation.
+struct Entry {
+  uint64_t Version;
+  uint64_t Payload;
+};
+
+struct RunResult {
+  double Mops;
+  double AvgUnreclaimed;
+};
+
+RunResult runScheme(const char *Scheme, unsigned Threads, unsigned SlotCount,
+                    double Secs) {
+  lfsmr::config Cfg;
+  Cfg.MaxThreads = Threads;
+  lfsmr::any_domain Dom(Scheme, Cfg);
+
+  std::vector<std::atomic<Entry *>> Slots(SlotCount);
+  for (auto &S : Slots)
+    S.store(nullptr, std::memory_order_relaxed);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Ops{0};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      MiniRng Rng(T);
+      uint64_t Local = 0, Version = 0;
+      while (!Stop.load(std::memory_order_relaxed)) {
+        for (int I = 0; I < 64; ++I) {
+          const uint64_t Draw = Rng.next();
+          auto &Slot = Slots[Draw % SlotCount];
+          auto G = Dom.enter(T);
+          if ((Draw & 3) == 0) {
+            // Write: publish a fresh entry, retire the displaced one.
+            Entry *Fresh = G.create<Entry>(++Version, Draw);
+            if (Entry *Old = Slot.exchange(Fresh,
+                                           std::memory_order_acq_rel))
+              G.retire(Old);
+          } else {
+            // Read: protected for the guard's lifetime.
+            if (lfsmr::protected_ptr<Entry> E = G.protect(Slot))
+              Local += E->Payload & 1;
+          }
+          ++Local;
+        }
+        Ops.fetch_add(64, std::memory_order_relaxed);
+      }
+      (void)Local;
+    });
+
+  // Sample the unreclaimed count while the clock runs.
+  double Sum = 0;
+  uint64_t Samples = 0;
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(Secs);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Sum += (double)Dom.stats().unreclaimed;
+    ++Samples;
+  }
+  Stop.store(true);
+  for (auto &W : Workers)
+    W.join();
+
+  // Drain: retire every published entry through one last guard.
+  {
+    auto G = Dom.enter(0);
+    for (auto &S : Slots)
+      if (Entry *E = S.exchange(nullptr))
+        G.retire(E);
+  }
+  return RunResult{(double)Ops.load() / Secs / 1e6,
+                   Samples ? Sum / (double)Samples : 0.0};
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const double Secs = Cmd.getDouble("secs", 1.0);
+  const double Secs = flagValueF(argc, argv, "--secs", 1.0);
   const unsigned HW = std::thread::hardware_concurrency();
-  const unsigned Factor = static_cast<unsigned>(Cmd.getInt("factor", 3));
+  const unsigned Factor = (unsigned)flagValue(argc, argv, "--factor", 3);
+  const unsigned SlotCount = (unsigned)flagValue(argc, argv, "--slots", 512);
   const unsigned Threads = (HW ? HW : 8) * Factor;
 
-  std::printf("oversubscribed hash map, write-heavy: %u threads on %u "
-              "cores, %.1fs per scheme\n\n",
+  std::printf("oversubscribed shared cache, write-heavy: %u threads on %u "
+              "cores, %.1fs per scheme\n",
               Threads, HW, Secs);
+  std::printf("schemes selected by runtime name through lfsmr::any_domain\n\n");
 
   for (const char *Scheme :
        {"epoch", "ibr", "hyaline", "hyaline1", "hyalines", "hyaline1s"}) {
-    RunSpec Spec;
-    Spec.Scheme = Scheme;
-    Spec.Ds = "hashmap";
-    Spec.Mix = WriteMix;
-    Spec.Threads = Threads;
-    Spec.Params.DurationSec = Secs;
-    const RunResult R = runOne(Spec);
+    const RunResult R = runScheme(Scheme, Threads, SlotCount, Secs);
     std::printf("  %-10s %8.2f M ops/s | avg unreclaimed %9.0f\n", Scheme,
                 R.Mops, R.AvgUnreclaimed);
   }

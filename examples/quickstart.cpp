@@ -5,27 +5,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Quickstart: the two ways to use the library.
+/// Quickstart against the public `lfsmr::` API (only `<lfsmr/...>`
+/// headers — this file builds unchanged against an installed package):
 ///
-///  1. High level — pick a data structure, parameterize it with a
-///     reclamation scheme, and use it from any thread.
-///  2. Low level — drive a scheme's enter/deref/retire/leave API directly
-///     around your own lock-free structure (the paper's Figure 1).
+///  1. High level — pick a container, parameterize it with a reclamation
+///     scheme, and use it from any thread.
+///  2. Low level — a `domain` + RAII `guard` around your own lock-free
+///     structure (the paper's Figure 1), in transparent mode: `create` /
+///     `retire` hide the scheme header entirely, so the node type is a
+///     plain struct.
 ///
 /// Build & run:  ./examples/quickstart
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/hyaline_s.h"
-#include "ds/michael_hashmap.h"
-#include "smr/smr.h"
+#include <lfsmr/lfsmr.h>
 
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
-
-using namespace lfsmr;
 
 namespace {
 
@@ -33,10 +32,10 @@ namespace {
 // Part 1: a lock-free hash map reclaimed by Hyaline-S.
 
 void highLevel() {
-  std::printf("== high-level API: MichaelHashMap<HyalineS> ==\n");
-  smr::Config Cfg;         // paper-tuned defaults (epochf=150, ...)
-  Cfg.MaxThreads = 8;      // per-thread batch state
-  ds::MichaelHashMap<core::HyalineS> Map(Cfg);
+  std::printf("== high-level API: michael_hashmap<hyaline_s> ==\n");
+  lfsmr::config Cfg;  // paper-tuned defaults (epochf=150, ...)
+  Cfg.MaxThreads = 8; // per-thread batch state
+  lfsmr::michael_hashmap<lfsmr::schemes::hyaline_s> Map(Cfg);
 
   std::vector<std::thread> Workers;
   for (unsigned T = 0; T < 4; ++T)
@@ -44,7 +43,7 @@ void highLevel() {
       // Any thread may operate with any id < MaxThreads; no registration
       // or unregistration step exists (Hyaline's transparency).
       for (uint64_t K = 0; K < 10000; ++K) {
-        Map.put(T, K, K * 10 + T);   // insert-or-replace (retires old)
+        Map.put(T, K, K * 10 + T); // insert-or-replace (retires old)
         if (K % 3 == 0)
           Map.remove(T, K);
       }
@@ -55,65 +54,60 @@ void highLevel() {
   std::size_t Live = 0;
   for (uint64_t K = 0; K < 10000; ++K)
     Live += Map.get(0, K).has_value();
-  const auto &MC = Map.smr().memCounter();
+  const lfsmr::memory_stats MS = Map.domain().stats();
   std::printf("  live keys:        %zu\n", Live);
-  std::printf("  nodes allocated:  %lld\n", (long long)MC.allocated());
-  std::printf("  nodes retired:    %lld\n", (long long)MC.retired());
+  std::printf("  nodes allocated:  %lld\n", (long long)MS.allocated);
+  std::printf("  nodes retired:    %lld\n", (long long)MS.retired);
   std::printf("  still unreclaimed:%lld (bounded; freed on destruction)\n\n",
-              (long long)MC.unreclaimed());
+              (long long)MS.unreclaimed);
 }
 
 //===----------------------------------------------------------------------===
-// Part 2: the raw SMR API around a hand-rolled structure (one shared
-// cell), mirroring the paper's Figure 1.
+// Part 2: domain + guard around a hand-rolled structure (one shared
+// cell), mirroring the paper's Figure 1. Note the node type: no scheme
+// header, no deleter — transparent mode hides both.
 
 struct Box {
-  core::HyalineS::NodeHeader Hdr; // header must be the first member
   uint64_t Value;
 };
 
-void deleteBox(void *Hdr, void *) { delete static_cast<Box *>(Hdr); }
-
 void lowLevel() {
-  std::printf("== low-level API: enter / deref / retire / leave ==\n");
-  smr::Config Cfg;
+  std::printf("== low-level API: domain / guard / create / retire ==\n");
+  lfsmr::config Cfg;
   Cfg.MaxThreads = 2;
-  core::HyalineS Smr(Cfg, &deleteBox, nullptr);
+  lfsmr::domain<lfsmr::schemes::hyaline_s> Dom(Cfg);
   std::atomic<Box *> Shared{nullptr};
 
   auto Writer = std::thread([&] {
     for (uint64_t I = 1; I <= 100000; ++I) {
-      auto G = Smr.enter(0);             // begin operation
-      auto *Fresh = new Box{{}, I};
-      Smr.initNode(G, &Fresh->Hdr);      // stamp birth era
-      Box *Old = Shared.exchange(Fresh); // unlink the old box
+      auto G = Dom.enter(0);                 // begin operation
+      Box *Fresh = G.create<Box>(I);         // header + birth era hidden
+      Box *Old = Shared.exchange(Fresh);     // unlink the old box
       if (Old)
-        Smr.retire(G, &Old->Hdr);        // safe deferred free
-      Smr.leave(G);                      // off the hook: no cleanup duty
-    }
+        G.retire(Old);                       // safe deferred free
+    }                                        // leave: off the hook
   });
   auto Reader = std::thread([&] {
     uint64_t Last = 0;
     while (Last < 100000) {
-      auto G = Smr.enter(1);
-      // deref: protected pointer read (required by the robust schemes).
-      if (Box *B = Smr.deref(G, Shared, 0))
-        Last = B->Value; // B cannot be freed while we are inside
-      Smr.leave(G);
+      auto G = Dom.enter(1);
+      // protect: the paper's deref, returned as a protected_ptr.
+      if (lfsmr::protected_ptr<Box> B = G.protect(Shared))
+        Last = B->Value; // B cannot be freed while the guard is alive
     }
-    std::printf("  reader saw final value %llu\n",
-                (unsigned long long)Last);
+    std::printf("  reader saw final value %llu\n", (unsigned long long)Last);
   });
   Writer.join();
   Reader.join();
 
   // Drain the last box through the same discipline.
-  auto G = Smr.enter(0);
-  if (Box *Last = Shared.exchange(nullptr))
-    Smr.retire(G, &Last->Hdr);
-  Smr.leave(G);
+  {
+    auto G = Dom.enter(0);
+    if (Box *Last = Shared.exchange(nullptr))
+      G.retire(Last);
+  }
   std::printf("  allocated=%lld freed-on-exit=everything (see dtor)\n\n",
-              (long long)Smr.memCounter().allocated());
+              (long long)Dom.stats().allocated);
 }
 
 } // namespace

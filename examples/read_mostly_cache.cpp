@@ -12,18 +12,18 @@
 /// across *all* threads — readers help free what writers retire — keeping
 /// the footprint near HP-grade while retaining EBR-grade speed.
 ///
-/// The demo runs the same cache once over Epoch and once over Hyaline and
-/// prints throughput plus the average unreclaimed-object count.
+/// The demo runs the same cache once over Epoch and once over Hyaline
+/// (both through the public container + scheme aliases) and prints
+/// throughput plus the average unreclaimed-object count.
 ///
 /// Build & run:  ./examples/read_mostly_cache [--secs 2] [--readers 10]
+///               [--writers 2] [--entries 50000]
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/hyaline.h"
-#include "ds/michael_hashmap.h"
-#include "smr/ebr.h"
-#include "support/cli.h"
-#include "support/random.h"
+#include "example_util.h"
+
+#include <lfsmr/lfsmr.h>
 
 #include <atomic>
 #include <chrono>
@@ -31,7 +31,9 @@
 #include <thread>
 #include <vector>
 
-using namespace lfsmr;
+using lfsmr_examples::flagValue;
+using lfsmr_examples::flagValueF;
+using lfsmr_examples::MiniRng;
 
 namespace {
 
@@ -44,9 +46,9 @@ struct CacheStats {
 template <typename Scheme>
 CacheStats runCache(unsigned Readers, unsigned Writers, double Secs,
                     uint64_t Entries) {
-  smr::Config Cfg;
+  lfsmr::config Cfg;
   Cfg.MaxThreads = Readers + Writers;
-  ds::MichaelHashMap<Scheme> Cache(Cfg, Entries * 2);
+  lfsmr::michael_hashmap<Scheme> Cache(Cfg, Entries * 2);
 
   // Warm the cache: every entry present.
   for (uint64_t K = 0; K < Entries; ++K)
@@ -58,7 +60,7 @@ CacheStats runCache(unsigned Readers, unsigned Writers, double Secs,
 
   for (unsigned R = 0; R < Readers; ++R)
     Threads.emplace_back([&, R] {
-      Xoshiro256 Rng(R);
+      MiniRng Rng(R);
       uint64_t Local = 0;
       while (!Stop.load(std::memory_order_relaxed)) {
         for (int I = 0; I < 256; ++I)
@@ -68,7 +70,7 @@ CacheStats runCache(unsigned Readers, unsigned Writers, double Secs,
     });
   for (unsigned W = 0; W < Writers; ++W)
     Threads.emplace_back([&, W] {
-      Xoshiro256 Rng(1000 + W);
+      MiniRng Rng(1000 + W);
       const unsigned Tid = Readers + W;
       while (!Stop.load(std::memory_order_relaxed)) {
         // Refresh entries: each put retires the previous binding.
@@ -76,7 +78,6 @@ CacheStats runCache(unsigned Readers, unsigned Writers, double Secs,
       }
     });
 
-  const auto &MC = Cache.smr().memCounter();
   double Sum = 0;
   int64_t Peak = 0;
   uint64_t Samples = 0;
@@ -84,7 +85,7 @@ CacheStats runCache(unsigned Readers, unsigned Writers, double Secs,
                         std::chrono::duration<double>(Secs);
   while (std::chrono::steady_clock::now() < Deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    const int64_t U = MC.unreclaimed();
+    const int64_t U = Cache.domain().stats().unreclaimed;
     Sum += static_cast<double>(U);
     Peak = std::max(Peak, U);
     ++Samples;
@@ -101,25 +102,25 @@ CacheStats runCache(unsigned Readers, unsigned Writers, double Secs,
 } // namespace
 
 int main(int argc, char **argv) {
-  const CommandLine Cmd(argc, argv);
-  const double Secs = Cmd.getDouble("secs", 1.0);
-  const unsigned Readers =
-      static_cast<unsigned>(Cmd.getInt("readers", 10));
-  const unsigned Writers = static_cast<unsigned>(Cmd.getInt("writers", 2));
-  const uint64_t Entries = static_cast<uint64_t>(Cmd.getInt("entries", 50000));
+  const double Secs = flagValueF(argc, argv, "--secs", 1.0);
+  const unsigned Readers = (unsigned)flagValue(argc, argv, "--readers", 10);
+  const unsigned Writers = (unsigned)flagValue(argc, argv, "--writers", 2);
+  const uint64_t Entries =
+      (uint64_t)flagValue(argc, argv, "--entries", 50000);
 
   std::printf("read-mostly cache: %u readers, %u writers, %llu entries, "
               "%.1fs per scheme\n\n",
               Readers, Writers, (unsigned long long)Entries, Secs);
 
-  const CacheStats E = runCache<smr::EBR>(Readers, Writers, Secs, Entries);
+  const CacheStats E =
+      runCache<lfsmr::schemes::epoch>(Readers, Writers, Secs, Entries);
   std::printf("  Epoch  : %7.2f M lookups/s | avg unreclaimed %9.0f | "
               "peak %lld\n",
               E.MLookupsPerSec, E.AvgUnreclaimed,
               (long long)E.PeakUnreclaimed);
 
   const CacheStats H =
-      runCache<core::Hyaline>(Readers, Writers, Secs, Entries);
+      runCache<lfsmr::schemes::hyaline>(Readers, Writers, Secs, Entries);
   std::printf("  Hyaline: %7.2f M lookups/s | avg unreclaimed %9.0f | "
               "peak %lld\n\n",
               H.MLookupsPerSec, H.AvgUnreclaimed,

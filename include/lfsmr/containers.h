@@ -1,0 +1,57 @@
+//===- lfsmr/containers.h - Lock-free container lineup -----------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's lock-free data structures, each generic over the
+/// reclamation scheme (`lfsmr/schemes.h`) and consuming the scheme purely
+/// through the public `domain`/`guard` facade — they are both the paper's
+/// benchmark structures and reference consumers of the API.
+///
+/// | alias                    | structure                        | paper use |
+/// | ------------------------ | -------------------------------- | --------- |
+/// | `lfsmr::hm_list`         | Harris-Michael sorted list       | Fig. 11a/d, 12a/d |
+/// | `lfsmr::michael_hashmap` | Michael chained hash map         | Fig. 11b/e, 12b/e |
+/// | `lfsmr::nm_tree`         | Natarajan-Mittal external BST    | Fig. 11c/f, 12c/f |
+/// | `lfsmr::bonsai_tree`     | path-copying weight-balanced BST | Fig. 13   |
+/// | `lfsmr::ms_queue`        | Michael-Scott FIFO queue         | generality (Table 1) |
+///
+/// All containers take `lfsmr::config` in their constructor, accept any
+/// `thread_id` below `config::MaxThreads` on every operation, and expose
+/// the underlying scheme via `.smr()` for counters and tests.
+/// `bonsai_tree` requires a scheme supporting unbounded protections per
+/// operation (every scheme except HP and HE).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_CONTAINERS_H
+#define LFSMR_CONTAINERS_H
+
+#include "ds/bonsai_tree.h"
+#include "ds/hm_list.h"
+#include "ds/michael_hashmap.h"
+#include "ds/ms_queue.h"
+#include "ds/nm_tree.h"
+
+namespace lfsmr {
+
+/// Sorted lock-free Harris-Michael linked list (set/map, integer keys).
+template <typename Scheme> using hm_list = ds::HMList<Scheme>;
+
+/// Michael's lock-free chained hash map (integer keys).
+template <typename Scheme> using michael_hashmap = ds::MichaelHashMap<Scheme>;
+
+/// Natarajan-Mittal external (leaf-oriented) lock-free BST.
+template <typename Scheme> using nm_tree = ds::NMTree<Scheme>;
+
+/// Path-copying weight-balanced tree (unbounded reads per operation).
+template <typename Scheme> using bonsai_tree = ds::BonsaiTree<Scheme>;
+
+/// Michael-Scott lock-free FIFO queue of 64-bit values.
+template <typename Scheme> using ms_queue = ds::MSQueue<Scheme>;
+
+} // namespace lfsmr
+
+#endif // LFSMR_CONTAINERS_H

@@ -1,0 +1,179 @@
+//===- lfsmr/detail/transparent.h - Hidden-header allocation -----*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation detail of the transparent allocation mode: objects
+/// created through `guard::create<T>()` / `any_domain::guard::create<T>()`
+/// live inside a library-owned block that prepends the scheme's node
+/// header, so user types need no intrusive header member and no knowledge
+/// of which scheme reclaims them — the paper's transparency claim carried
+/// all the way to the allocation API.
+///
+/// Block layout:
+///
+/// \code
+///   [ Scheme::NodeHeader | void *obj | pad | TransparentMeta | T object ]
+///   ^ block start (what the scheme retires/frees)        obj ^
+/// \endcode
+///
+/// The scheme side only knows `TransparentBlock<Scheme>` (header first, as
+/// every scheme requires, plus the object pointer). The object side only
+/// knows `TransparentMeta`, stored immediately before the object, which is
+/// scheme-independent — that is what lets `any_domain` recover the block
+/// from a bare `T *` without knowing the runtime scheme's header size.
+///
+/// Nothing in this header is part of the public API surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_DETAIL_TRANSPARENT_H
+#define LFSMR_DETAIL_TRANSPARENT_H
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace lfsmr::detail {
+
+/// True when the scheme protects raw published pointer *addresses*
+/// (hazard pointers): its sweep compares retired header addresses
+/// against the published object addresses, which can never match when
+/// the header is hidden in front of the object — so transparent
+/// allocation is structurally unsafe and both `domain`'s transparent
+/// constructor and `any_domain` reject such schemes. Era/interval
+/// schemes (HE, IBR, Hyaline-S/1S) protect via the stamped birth era and
+/// are unaffected.
+template <typename Scheme>
+inline constexpr bool protectsAddresses = requires {
+  requires Scheme::ProtectsAddresses;
+};
+
+/// Scheme-side prefix of a transparently allocated block. The scheme's
+/// node header must be the first member (every scheme's deleter recovers
+/// the block from the header address).
+template <typename Scheme> struct TransparentBlock {
+  typename Scheme::NodeHeader Hdr;
+  /// The user object carried by this block.
+  void *Obj;
+};
+
+/// Scheme-independent metadata stored immediately before the user object.
+struct TransparentMeta {
+  /// Destroys the object: either the destructor trampoline or a
+  /// user-supplied deleter trampoline. Must not free the block storage —
+  /// the library owns it.
+  void (*Finalize)(void *Obj, void *User);
+  /// Opaque slot for the user deleter (null when Finalize destructs).
+  void *User;
+  /// Start of the allocation == address of the scheme node header.
+  void *Block;
+  /// Alignment the block was allocated with (for the sized delete).
+  std::size_t AllocAlign;
+};
+
+/// Meta of the block carrying \p Obj; valid only for pointers returned by
+/// a transparent `create`.
+inline TransparentMeta *metaOf(void *Obj) {
+  return static_cast<TransparentMeta *>(Obj) - 1;
+}
+
+/// Destructor trampoline: default Finalize for `create<T>()`.
+template <typename T> void destructObject(void *Obj, void * /*User*/) {
+  static_cast<T *>(Obj)->~T();
+}
+
+/// Finalize used while the object is not constructed yet (between
+/// allocation and the end of the constructor): discarding the block in
+/// that window must destroy nothing.
+inline void finalizeNothing(void * /*Obj*/, void * /*User*/) {}
+
+/// User-deleter trampoline: Finalize for `retire(ptr, deleter)`. The
+/// deleter replaces the destructor call; block storage is still freed by
+/// the library afterwards.
+template <typename T> void invokeUserDeleter(void *Obj, void *User) {
+  auto Fn = reinterpret_cast<void (*)(T *)>(User);
+  Fn(static_cast<T *>(Obj));
+}
+
+/// Rounds \p N up to the next multiple of \p A (a power of two).
+constexpr std::size_t alignUpTo(std::size_t N, std::size_t A) {
+  return (N + A - 1) & ~(A - 1);
+}
+
+/// Object offset inside a block for an object of alignment \p Align.
+template <typename Scheme>
+constexpr std::size_t transparentObjOffset(std::size_t Align) {
+  return alignUpTo(sizeof(TransparentBlock<Scheme>) + sizeof(TransparentMeta),
+                   std::max(Align, alignof(TransparentMeta)));
+}
+
+/// Allocates a block able to carry an object of (\p Size, \p Align).
+/// Returns the object storage (uninitialized); the block's header is
+/// value-initialized and the meta's Block/AllocAlign fields are set.
+/// The caller must set Finalize (and User) before the object can be
+/// retired, then placement-new the object into the returned storage.
+template <typename Scheme>
+void *allocateTransparent(std::size_t Size, std::size_t Align,
+                          TransparentBlock<Scheme> *&BlockOut) {
+  const std::size_t A =
+      std::max({Align, alignof(TransparentMeta),
+                alignof(TransparentBlock<Scheme>)});
+  const std::size_t Off = transparentObjOffset<Scheme>(Align);
+  void *Raw = ::operator new(Off + Size, std::align_val_t(A));
+  auto *B = new (Raw) TransparentBlock<Scheme>();
+  void *Obj = static_cast<char *>(Raw) + Off;
+  B->Obj = Obj;
+  new (static_cast<char *>(Obj) - sizeof(TransparentMeta))
+      TransparentMeta{nullptr, nullptr, Raw, A};
+  BlockOut = B;
+  return Obj;
+}
+
+/// Constructs a `T` into freshly allocated transparent storage with the
+/// strong exception guarantee, shared by `guard::create` and
+/// `any_domain::guard::create`. While the constructor runs the meta's
+/// Finalize is `finalizeNothing`, so \p discard (which routes the block
+/// back through the scheme's deleter) destroys no object; on success the
+/// Finalize becomes the destructor trampoline. This is lifetime-critical
+/// code — keep it in exactly one place.
+template <typename T, typename Discard, typename... Args>
+T *constructTransparent(void *Obj, Discard &&DiscardBlock, Args &&...A) {
+  TransparentMeta *M = metaOf(Obj);
+  M->Finalize = &finalizeNothing;
+  try {
+    T *Result = new (Obj) T(std::forward<Args>(A)...);
+    M->Finalize = &destructObject<T>;
+    return Result;
+  } catch (...) {
+    DiscardBlock();
+    throw;
+  }
+}
+
+/// Swaps the destructor trampoline for a user deleter before a
+/// `retire(ptr, deleter)`; shared by both guard types.
+template <typename T> void installUserDeleter(void *Obj, void (*Del)(T *)) {
+  TransparentMeta *M = metaOf(Obj);
+  M->Finalize = &invokeUserDeleter<T>;
+  M->User = reinterpret_cast<void *>(Del);
+}
+
+/// The deleter a transparent-mode domain registers with its scheme:
+/// finalizes the carried object, then frees the block.
+template <typename Scheme>
+void reclaimTransparent(void *Node, void * /*Ctx*/) {
+  auto *B = static_cast<TransparentBlock<Scheme> *>(Node);
+  void *Obj = B->Obj;
+  TransparentMeta *M = metaOf(Obj);
+  const std::size_t A = M->AllocAlign;
+  M->Finalize(Obj, M->User);
+  ::operator delete(static_cast<void *>(B), std::align_val_t(A));
+}
+
+} // namespace lfsmr::detail
+
+#endif // LFSMR_DETAIL_TRANSPARENT_H

@@ -1,0 +1,65 @@
+//===- lfsmr/protected_ptr.h - Guard-scoped pointer wrapper ------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `lfsmr::protected_ptr<T>`: the result of a protected pointer read
+/// (`guard::protect`). The paper notes (Table 1 discussion) that the
+/// deref-based API "can be fully hidden using standard language idioms,
+/// such as smart pointers in C++"; this is that idiom. The wrapper is a
+/// plain pointer at runtime — its job is to mark, in the type system, that
+/// the pointee is safe to dereference only while the guard that produced
+/// it is alive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_PROTECTED_PTR_H
+#define LFSMR_PROTECTED_PTR_H
+
+#include <cstddef>
+
+namespace lfsmr {
+
+/// A pointer obtained through a scheme's protected read.
+///
+/// Validity contract: the pointee cannot be reclaimed while the
+/// `lfsmr::guard` (or `lfsmr::any_domain::guard`) that returned this
+/// pointer is alive. After the guard leaves, the pointer must not be
+/// dereferenced. The wrapper implicitly converts to `T *` so it drops into
+/// existing pointer-shaped code.
+template <typename T> class protected_ptr {
+public:
+  /// The pointee type.
+  using element_type = T;
+
+  /// Null pointer.
+  constexpr protected_ptr() noexcept : ptr(nullptr) {}
+
+  /// Wraps \p raw, which must have been produced by a protected read under
+  /// a live guard (or be null).
+  constexpr explicit protected_ptr(T *raw) noexcept : ptr(raw) {}
+
+  /// The raw pointer.
+  constexpr T *get() const noexcept { return ptr; }
+
+  /// Dereference; the guard that produced this pointer must be alive.
+  constexpr T &operator*() const noexcept { return *ptr; }
+
+  /// Member access; the guard that produced this pointer must be alive.
+  constexpr T *operator->() const noexcept { return ptr; }
+
+  /// True when non-null.
+  constexpr explicit operator bool() const noexcept { return ptr != nullptr; }
+
+  /// Implicit decay to the raw pointer (same validity contract).
+  constexpr operator T *() const noexcept { return ptr; }
+
+private:
+  T *ptr;
+};
+
+} // namespace lfsmr
+
+#endif // LFSMR_PROTECTED_PTR_H

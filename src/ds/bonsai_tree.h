@@ -30,7 +30,7 @@
 #define LFSMR_DS_BONSAI_TREE_H
 
 #include "ds/list_ops.h" // Key/Value
-#include "smr/smr.h"
+#include "lfsmr/domain.h"
 #include "support/align.h"
 
 #include <atomic>
@@ -56,10 +56,10 @@ public:
     bool Fresh; ///< allocated by the in-flight operation (never published)
   };
 
-  using Guard = typename S::Guard;
+  using Guard = lfsmr::guard<S>;
 
   explicit BonsaiTree(const smr::Config &C)
-      : Smr(C, &deleteNode, nullptr), Root(nullptr),
+      : Dom(C, &deleteNode, nullptr), Root(nullptr),
         Scratch(new CachePadded<OpScratch>[C.MaxThreads]),
         MaxThreads(C.MaxThreads) {}
 
@@ -72,73 +72,58 @@ public:
 
   /// Inserts (K, V); returns false if K is already present.
   bool insert(smr::ThreadId Tid, Key K, Value V) {
-    auto G = Smr.enter(Tid);
+    auto G = Dom.enter(Tid);
     OpScratch &Sc = *Scratch[Tid];
-    bool Ok;
     while (true) {
-      Node *Old = Smr.deref(G, Root, 0);
-      if (containsIn(Old, K)) {
-        Ok = false;
-        break;
-      }
+      Node *Old = G.protect(Root, 0);
+      if (containsIn(Old, K))
+        return false;
       Sc.clear();
       Node *NewRoot = insertRec(G, Sc, Old, K, V);
-      if (publish(G, Sc, Old, NewRoot)) {
-        Ok = true;
-        break;
-      }
+      if (publish(G, Sc, Old, NewRoot))
+        return true;
     }
-    Smr.leave(G);
-    return Ok;
   }
 
   /// Removes K; returns false if absent.
   bool remove(smr::ThreadId Tid, Key K) {
-    auto G = Smr.enter(Tid);
+    auto G = Dom.enter(Tid);
     OpScratch &Sc = *Scratch[Tid];
-    bool Ok;
     while (true) {
-      Node *Old = Smr.deref(G, Root, 0);
-      if (!containsIn(Old, K)) {
-        Ok = false;
-        break;
-      }
+      Node *Old = G.protect(Root, 0);
+      if (!containsIn(Old, K))
+        return false;
       Sc.clear();
       Node *NewRoot = removeRec(G, Sc, Old, K);
-      if (publish(G, Sc, Old, NewRoot)) {
-        Ok = true;
-        break;
-      }
+      if (publish(G, Sc, Old, NewRoot))
+        return true;
     }
-    Smr.leave(G);
-    return Ok;
   }
 
   /// Insert-or-replace: path-copies to K's position unconditionally; an
   /// existing node is superseded (and retired on success) by a copy with
   /// the new value. Returns true if K was newly inserted.
   bool put(smr::ThreadId Tid, Key K, Value V) {
-    auto G = Smr.enter(Tid);
+    auto G = Dom.enter(Tid);
     OpScratch &Sc = *Scratch[Tid];
     bool Inserted;
     while (true) {
-      Node *Old = Smr.deref(G, Root, 0);
+      Node *Old = G.protect(Root, 0);
       Inserted = !containsIn(Old, K);
       Sc.clear();
       Node *NewRoot = putRec(G, Sc, Old, K, V);
       if (publish(G, Sc, Old, NewRoot))
         break;
     }
-    Smr.leave(G);
     return Inserted;
   }
 
   /// Returns the value mapped to K, if any. Lock-free read over an
   /// immutable snapshot.
   std::optional<Value> get(smr::ThreadId Tid, Key K) {
-    auto G = Smr.enter(Tid);
+    auto G = Dom.enter(Tid);
     std::optional<Value> Result;
-    const Node *N = Smr.deref(G, Root, 0);
+    const Node *N = G.protect(Root, 0);
     while (N) {
       if (K == N->K) {
         Result = N->V;
@@ -146,7 +131,6 @@ public:
       }
       N = (K < N->K) ? N->L : N->R;
     }
-    Smr.leave(G);
     return Result;
   }
 
@@ -163,8 +147,11 @@ public:
   }
 
   /// The underlying reclamation scheme (for counters and tests).
-  S &smr() { return Smr; }
-  const S &smr() const { return Smr; }
+  S &smr() { return Dom.scheme(); }
+  const S &smr() const { return Dom.scheme(); }
+
+  /// The reclamation domain (public-API access to the same scheme).
+  lfsmr::domain<S> &domain() { return Dom; }
 
 private:
   /// Adams' weight factor: a subtree may be at most Weight times heavier
@@ -214,7 +201,7 @@ private:
                        V,  1 + sizeOf(L) + sizeOf(R),
                        L,  R,
                        true};
-    Smr.initNode(G, &N->Hdr);
+    G.init(&N->Hdr);
     Sc.NewNodes.push_back(N);
     return N;
   }
@@ -336,17 +323,17 @@ private:
                                      std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
       for (Node *N : Sc.Dead)
-        Smr.retire(G, &N->Hdr);
+        G.retire(&N->Hdr);
       for (Node *N : Sc.ReplacedFresh)
-        Smr.discard(&N->Hdr);
+        G.discard(&N->Hdr);
       return true;
     }
     for (Node *N : Sc.NewNodes)
-      Smr.discard(&N->Hdr);
+      G.discard(&N->Hdr);
     return false;
   }
 
-  S Smr;
+  lfsmr::domain<S> Dom;
   std::atomic<Node *> Root;
   std::unique_ptr<CachePadded<OpScratch>[]> Scratch;
   const unsigned MaxThreads;

@@ -16,7 +16,7 @@
 #define LFSMR_DS_HM_LIST_H
 
 #include "ds/list_ops.h"
-#include "smr/smr.h"
+#include "lfsmr/domain.h"
 
 #include <atomic>
 #include <optional>
@@ -32,7 +32,7 @@ public:
   using Node = typename Ops::Node;
 
   explicit HMList(const smr::Config &C)
-      : Smr(C, &Ops::deleteNode, nullptr), Head(0) {}
+      : Dom(C, &Ops::deleteNode, nullptr), Head(0) {}
 
   /// Drains the chain; concurrent access must have ceased.
   ~HMList() {
@@ -48,35 +48,27 @@ public:
 
   /// Inserts (K, V); returns false if K is already present.
   bool insert(smr::ThreadId Tid, Key K, Value V) {
-    auto G = Smr.enter(Tid);
-    const bool Ok = Ops::insert(Smr, G, Head, K, V);
-    Smr.leave(G);
-    return Ok;
+    auto G = Dom.enter(Tid);
+    return Ops::insert(G, Head, K, V);
   }
 
   /// Removes K; returns false if absent.
   bool remove(smr::ThreadId Tid, Key K) {
-    auto G = Smr.enter(Tid);
-    const bool Ok = Ops::remove(Smr, G, Head, K);
-    Smr.leave(G);
-    return Ok;
+    auto G = Dom.enter(Tid);
+    return Ops::remove(G, Head, K);
   }
 
   /// Returns the value mapped to K, if any.
   std::optional<Value> get(smr::ThreadId Tid, Key K) {
-    auto G = Smr.enter(Tid);
-    auto R = Ops::get(Smr, G, Head, K);
-    Smr.leave(G);
-    return R;
+    auto G = Dom.enter(Tid);
+    return Ops::get(G, Head, K);
   }
 
   /// Insert-or-replace; replacing retires the old node. Returns true if
   /// K was newly inserted.
   bool put(smr::ThreadId Tid, Key K, Value V) {
-    auto G = Smr.enter(Tid);
-    const bool Inserted = Ops::put(Smr, G, Head, K, V);
-    Smr.leave(G);
-    return Inserted;
+    auto G = Dom.enter(Tid);
+    return Ops::put(G, Head, K, V);
   }
 
   /// Builds the chain directly from \p SortedKeys (strictly increasing,
@@ -84,24 +76,26 @@ public:
   /// list through the public insert would cost O(n^2) traversal steps.
   /// Must run before any concurrent access.
   void prefillSorted(const std::vector<Key> &SortedKeys) {
-    auto G = Smr.enter(0);
+    auto G = Dom.enter(0);
     uintptr_t Chain = Head.load(std::memory_order_relaxed);
     for (auto It = SortedKeys.rbegin(); It != SortedKeys.rend(); ++It) {
       Node *N = new Node(*It, *It + 1);
-      Smr.initNode(G, &N->Hdr);
+      G.init(&N->Hdr);
       N->Next.store(Chain, std::memory_order_relaxed);
       Chain = Ops::toRaw(N);
     }
     Head.store(Chain, std::memory_order_release);
-    Smr.leave(G);
   }
 
   /// The underlying reclamation scheme (for counters and tests).
-  S &smr() { return Smr; }
-  const S &smr() const { return Smr; }
+  S &smr() { return Dom.scheme(); }
+  const S &smr() const { return Dom.scheme(); }
+
+  /// The reclamation domain (public-API access to the same scheme).
+  lfsmr::domain<S> &domain() { return Dom; }
 
 private:
-  S Smr;
+  lfsmr::domain<S> Dom;
   std::atomic<uintptr_t> Head;
 };
 

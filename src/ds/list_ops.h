@@ -23,7 +23,7 @@
 #ifndef LFSMR_DS_LIST_OPS_H
 #define LFSMR_DS_LIST_OPS_H
 
-#include "smr/smr.h"
+#include "lfsmr/guard.h"
 
 #include <atomic>
 #include <cstdint>
@@ -36,9 +36,11 @@ namespace lfsmr::ds {
 using Key = uint64_t;
 using Value = uint64_t;
 
-/// Harris-Michael list operations, generic over the SMR scheme.
+/// Harris-Michael list operations, generic over the SMR scheme. All
+/// scheme interaction goes through the public `lfsmr::guard` facade; the
+/// scheme type only shapes the node header.
 template <typename S> struct ListOps {
-  using Guard = typename S::Guard;
+  using Guard = lfsmr::guard<S>;
 
   /// List node; the SMR header must be the first member so the scheme's
   /// deleter can recover the node from the header address.
@@ -77,20 +79,19 @@ template <typename S> struct ListOps {
 
   /// Michael's find: locates the insertion point for \p K, physically
   /// unlinking (and retiring) any marked nodes encountered.
-  static Position find(S &Smr, Guard &G, std::atomic<uintptr_t> &Head,
-                       Key K) {
+  static Position find(Guard &G, std::atomic<uintptr_t> &Head, Key K) {
   retry:
     std::atomic<uintptr_t> *PrevLink = &Head;
     // Hazard-slot roles rotate among {0,1,2}: CurrIdx protects Curr,
     // NextIdx the node after it, the third slot keeps the previous node
     // alive so PrevLink stays dereferenceable.
     unsigned CurrIdx = 0, NextIdx = 1, SpareIdx = 2;
-    uintptr_t CurrRaw = Smr.derefLink(G, *PrevLink, CurrIdx);
+    uintptr_t CurrRaw = G.protect_link(*PrevLink, CurrIdx);
     while (true) {
       Node *Curr = toNode(CurrRaw);
       if (!Curr)
         return Position{PrevLink, nullptr, 0, false};
-      const uintptr_t NextRaw = Smr.derefLink(G, Curr->Next, NextIdx);
+      const uintptr_t NextRaw = G.protect_link(Curr->Next, NextIdx);
       // Validate: PrevLink must still point at Curr, unmarked. This also
       // detects a marked (deleted) predecessor, whose Next word would now
       // carry the mark bit.
@@ -103,7 +104,7 @@ template <typename S> struct ListOps {
                                                std::memory_order_acq_rel,
                                                std::memory_order_acquire))
           goto retry;
-        Smr.retire(G, &Curr->Hdr);
+        G.retire(&Curr->Hdr);
         CurrRaw = NextRaw & ~Mark;
         std::swap(CurrIdx, NextIdx); // Next's protection now guards Curr
         continue;
@@ -122,19 +123,19 @@ template <typename S> struct ListOps {
   }
 
   /// Inserts (K, V); fails if the key is present.
-  static bool insert(S &Smr, Guard &G, std::atomic<uintptr_t> &Head, Key K,
+  static bool insert(Guard &G, std::atomic<uintptr_t> &Head, Key K,
                      Value V) {
     Node *Fresh = nullptr;
     while (true) {
-      Position Pos = find(Smr, G, Head, K);
+      Position Pos = find(G, Head, K);
       if (Pos.Found) {
         if (Fresh)
-          Smr.discard(&Fresh->Hdr);
+          G.discard(&Fresh->Hdr);
         return false;
       }
       if (!Fresh) {
         Fresh = new Node(K, V);
-        Smr.initNode(G, &Fresh->Hdr);
+        G.init(&Fresh->Hdr);
       }
       Fresh->Next.store(toRaw(Pos.Curr), std::memory_order_relaxed);
       uintptr_t Expected = toRaw(Pos.Curr);
@@ -147,9 +148,9 @@ template <typename S> struct ListOps {
 
   /// Removes K; fails if absent. The winner of the marking CAS retires the
   /// node (after it is physically unlinked here or by a helping find).
-  static bool remove(S &Smr, Guard &G, std::atomic<uintptr_t> &Head, Key K) {
+  static bool remove(Guard &G, std::atomic<uintptr_t> &Head, Key K) {
     while (true) {
-      Position Pos = find(Smr, G, Head, K);
+      Position Pos = find(G, Head, K);
       if (!Pos.Found)
         return false;
       Node *Victim = Pos.Curr;
@@ -166,18 +167,18 @@ template <typename S> struct ListOps {
       if (Pos.PrevLink->compare_exchange_strong(Expected, Succ,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_acquire)) {
-        Smr.retire(G, &Victim->Hdr);
+        G.retire(&Victim->Hdr);
       } else {
-        find(Smr, G, Head, K); // help physical removal
+        find(G, Head, K); // help physical removal
       }
       return true;
     }
   }
 
   /// Looks up K.
-  static std::optional<Value> get(S &Smr, Guard &G,
-                                  std::atomic<uintptr_t> &Head, Key K) {
-    Position Pos = find(Smr, G, Head, K);
+  static std::optional<Value> get(Guard &G, std::atomic<uintptr_t> &Head,
+                                  Key K) {
+    Position Pos = find(G, Head, K);
     if (!Pos.Found)
       return std::nullopt;
     return Pos.Curr->V;
@@ -188,12 +189,11 @@ template <typename S> struct ListOps {
   /// old node (exactly like remove) and swinging the predecessor to a
   /// fresh node in one step, retiring the old one. Returns true if K was
   /// newly inserted, false if an existing binding was replaced.
-  static bool put(S &Smr, Guard &G, std::atomic<uintptr_t> &Head, Key K,
-                  Value V) {
+  static bool put(Guard &G, std::atomic<uintptr_t> &Head, Key K, Value V) {
     Node *Fresh = new Node(K, V);
-    Smr.initNode(G, &Fresh->Hdr);
+    G.init(&Fresh->Hdr);
     while (true) {
-      Position Pos = find(Smr, G, Head, K);
+      Position Pos = find(G, Head, K);
       if (!Pos.Found) {
         Fresh->Next.store(toRaw(Pos.Curr), std::memory_order_relaxed);
         uintptr_t Expected = toRaw(Pos.Curr);
@@ -215,12 +215,12 @@ template <typename S> struct ListOps {
       if (Pos.PrevLink->compare_exchange_strong(Expected, toRaw(Fresh),
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_acquire)) {
-        Smr.retire(G, &Victim->Hdr);
+        G.retire(&Victim->Hdr);
         return false;
       }
       // A helper unlinks (and retires) the marked victim; retry as an
       // insert of the still-unpublished fresh node.
-      find(Smr, G, Head, K);
+      find(G, Head, K);
     }
   }
 };

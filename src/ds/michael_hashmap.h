@@ -16,7 +16,7 @@
 #define LFSMR_DS_MICHAEL_HASHMAP_H
 
 #include "ds/list_ops.h"
-#include "smr/smr.h"
+#include "lfsmr/domain.h"
 #include "support/align.h"
 
 #include <atomic>
@@ -36,7 +36,7 @@ public:
   /// load factor < 1 for the paper's 50,000-element prefill.
   explicit MichaelHashMap(const smr::Config &C,
                           std::size_t BucketCount = 1 << 17)
-      : Smr(C, &Ops::deleteNode, nullptr),
+      : Dom(C, &Ops::deleteNode, nullptr),
         Buckets(nextPowerOfTwo(BucketCount)),
         Table(new std::atomic<uintptr_t>[Buckets]) {
     for (std::size_t I = 0; I < Buckets; ++I)
@@ -59,40 +59,35 @@ public:
 
   /// Inserts (K, V); returns false if K is already present.
   bool insert(smr::ThreadId Tid, Key K, Value V) {
-    auto G = Smr.enter(Tid);
-    const bool Ok = Ops::insert(Smr, G, bucket(K), K, V);
-    Smr.leave(G);
-    return Ok;
+    auto G = Dom.enter(Tid);
+    return Ops::insert(G, bucket(K), K, V);
   }
 
   /// Removes K; returns false if absent.
   bool remove(smr::ThreadId Tid, Key K) {
-    auto G = Smr.enter(Tid);
-    const bool Ok = Ops::remove(Smr, G, bucket(K), K);
-    Smr.leave(G);
-    return Ok;
+    auto G = Dom.enter(Tid);
+    return Ops::remove(G, bucket(K), K);
   }
 
   /// Returns the value mapped to K, if any.
   std::optional<Value> get(smr::ThreadId Tid, Key K) {
-    auto G = Smr.enter(Tid);
-    auto R = Ops::get(Smr, G, bucket(K), K);
-    Smr.leave(G);
-    return R;
+    auto G = Dom.enter(Tid);
+    return Ops::get(G, bucket(K), K);
   }
 
   /// Insert-or-replace; replacing retires the old node. Returns true if
   /// K was newly inserted.
   bool put(smr::ThreadId Tid, Key K, Value V) {
-    auto G = Smr.enter(Tid);
-    const bool Inserted = Ops::put(Smr, G, bucket(K), K, V);
-    Smr.leave(G);
-    return Inserted;
+    auto G = Dom.enter(Tid);
+    return Ops::put(G, bucket(K), K, V);
   }
 
   /// The underlying reclamation scheme (for counters and tests).
-  S &smr() { return Smr; }
-  const S &smr() const { return Smr; }
+  S &smr() { return Dom.scheme(); }
+  const S &smr() const { return Dom.scheme(); }
+
+  /// The reclamation domain (public-API access to the same scheme).
+  lfsmr::domain<S> &domain() { return Dom; }
 
 private:
   std::atomic<uintptr_t> &bucket(Key K) {
@@ -101,7 +96,7 @@ private:
     return Table[(H >> 32) & (Buckets - 1)];
   }
 
-  S Smr;
+  lfsmr::domain<S> Dom;
   const std::size_t Buckets;
   std::unique_ptr<std::atomic<uintptr_t>[]> Table;
 };

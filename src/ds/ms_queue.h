@@ -21,7 +21,7 @@
 #define LFSMR_DS_MS_QUEUE_H
 
 #include "ds/list_ops.h" // Value
-#include "smr/smr.h"
+#include "lfsmr/domain.h"
 #include "support/align.h"
 
 #include <atomic>
@@ -41,15 +41,14 @@ public:
     explicit Node(Value V) : Hdr(), V(V), Next(nullptr) {}
   };
 
-  explicit MSQueue(const smr::Config &C) : Smr(C, &deleteNode, nullptr) {
-    // The initial dummy goes through initNode like any other node so the
+  explicit MSQueue(const smr::Config &C) : Dom(C, &deleteNode, nullptr) {
+    // The initial dummy goes through init like any other node so the
     // schemes' accounting and era stamping stay uniform.
-    auto G = Smr.enter(0);
+    auto G = Dom.enter(0);
     Node *Dummy = new Node(0);
-    Smr.initNode(G, &Dummy->Hdr);
+    G.init(&Dummy->Hdr);
     Head.store(Dummy, std::memory_order_relaxed);
     Tail.store(Dummy, std::memory_order_relaxed);
-    Smr.leave(G);
   }
 
   /// Drains remaining nodes; concurrent access must have ceased.
@@ -67,12 +66,12 @@ public:
 
   /// Appends \p V; lock-free with tail helping.
   void enqueue(smr::ThreadId Tid, Value V) {
-    auto G = Smr.enter(Tid);
+    auto G = Dom.enter(Tid);
     Node *Fresh = new Node(V);
-    Smr.initNode(G, &Fresh->Hdr);
+    G.init(&Fresh->Hdr);
     while (true) {
-      Node *T = Smr.deref(G, Tail, 0);
-      Node *Next = Smr.deref(G, T->Next, 1);
+      Node *T = G.protect(Tail, 0);
+      Node *Next = G.protect(T->Next, 1);
       if (T != Tail.load(std::memory_order_acquire))
         continue; // tail moved while we were looking
       if (Next) {
@@ -90,19 +89,18 @@ public:
         break;
       }
     }
-    Smr.leave(G);
   }
 
   /// Removes and returns the oldest value, or nullopt when empty. The
   /// outgoing dummy node is retired (the value's node becomes the new
   /// dummy — the M&S ownership transfer).
   std::optional<Value> dequeue(smr::ThreadId Tid) {
-    auto G = Smr.enter(Tid);
+    auto G = Dom.enter(Tid);
     std::optional<Value> Result;
     while (true) {
-      Node *H = Smr.deref(G, Head, 0);
+      Node *H = G.protect(Head, 0);
       Node *T = Tail.load(std::memory_order_acquire);
-      Node *Next = Smr.deref(G, H->Next, 1);
+      Node *Next = G.protect(H->Next, 1);
       if (H != Head.load(std::memory_order_acquire))
         continue; // head moved: Next may belong to a recycled node
       if (!Next)
@@ -118,12 +116,11 @@ public:
       const Value V = Next->V;
       if (Head.compare_exchange_strong(H, Next, std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
-        Smr.retire(G, &H->Hdr);
+        G.retire(&H->Hdr);
         Result = V;
         break;
       }
     }
-    Smr.leave(G);
     return Result;
   }
 
@@ -135,15 +132,18 @@ public:
   }
 
   /// The underlying reclamation scheme (for counters and tests).
-  S &smr() { return Smr; }
-  const S &smr() const { return Smr; }
+  S &smr() { return Dom.scheme(); }
+  const S &smr() const { return Dom.scheme(); }
+
+  /// The reclamation domain (public-API access to the same scheme).
+  lfsmr::domain<S> &domain() { return Dom; }
 
 private:
   static void deleteNode(void *Hdr, void * /*Ctx*/) {
     delete static_cast<Node *>(Hdr);
   }
 
-  S Smr;
+  lfsmr::domain<S> Dom;
   alignas(CacheLineSize) std::atomic<Node *> Head;
   alignas(CacheLineSize) std::atomic<Node *> Tail;
 };

@@ -49,7 +49,7 @@
 #define LFSMR_DS_NM_TREE_H
 
 #include "ds/list_ops.h" // Key/Value
-#include "smr/smr.h"
+#include "lfsmr/domain.h"
 
 #include <atomic>
 #include <cassert>
@@ -74,9 +74,9 @@ public:
     Node(Key K, Value V) : Hdr(), K(K), V(V), Left(0), Right(0) {}
   };
 
-  using Guard = typename S::Guard;
+  using Guard = lfsmr::guard<S>;
 
-  explicit NMTree(const smr::Config &C) : Smr(C, &deleteNode, nullptr) {
+  explicit NMTree(const smr::Config &C) : Dom(C, &deleteNode, nullptr) {
     // Sentinel structure (NM Figure 2): R(inf2) -> {S(inf1), leaf(inf2)},
     // S(inf1) -> {leaf(inf0), leaf(inf1)}. User keys < inf0 always route
     // into S's left subtree; the sentinels are never flagged or removed.
@@ -102,31 +102,26 @@ public:
   /// Inserts (K, V); returns false if K is already present.
   bool insert(smr::ThreadId Tid, Key K, Value V) {
     assert(K <= MaxKey && "key collides with sentinel space");
-    auto G = Smr.enter(Tid);
-    const bool Ok = insertImpl(G, K, V);
-    Smr.leave(G);
-    return Ok;
+    auto G = Dom.enter(Tid);
+    return insertImpl(G, K, V);
   }
 
   /// Removes K; returns false if absent.
   bool remove(smr::ThreadId Tid, Key K) {
     assert(K <= MaxKey && "key collides with sentinel space");
-    auto G = Smr.enter(Tid);
-    const bool Ok = removeImpl(G, K);
-    Smr.leave(G);
-    return Ok;
+    auto G = Dom.enter(Tid);
+    return removeImpl(G, K);
   }
 
   /// Returns the value mapped to K, if any.
   std::optional<Value> get(smr::ThreadId Tid, Key K) {
     assert(K <= MaxKey && "key collides with sentinel space");
-    auto G = Smr.enter(Tid);
+    auto G = Dom.enter(Tid);
     SeekRecord SR;
     seek(G, K, SR);
     std::optional<Value> Result;
     if (SR.Leaf->K == K)
       Result = SR.Leaf->V;
-    Smr.leave(G);
     return Result;
   }
 
@@ -135,15 +130,16 @@ public:
   /// old leaf. Returns true if K was newly inserted.
   bool put(smr::ThreadId Tid, Key K, Value V) {
     assert(K <= MaxKey && "key collides with sentinel space");
-    auto G = Smr.enter(Tid);
-    const bool Inserted = putImpl(G, K, V);
-    Smr.leave(G);
-    return Inserted;
+    auto G = Dom.enter(Tid);
+    return putImpl(G, K, V);
   }
 
   /// The underlying reclamation scheme (for counters and tests).
-  S &smr() { return Smr; }
-  const S &smr() const { return Smr; }
+  S &smr() { return Dom.scheme(); }
+  const S &smr() const { return Dom.scheme(); }
+
+  /// The reclamation domain (public-API access to the same scheme).
+  lfsmr::domain<S> &domain() { return Dom; }
 
 private:
   static constexpr Key Inf0 = UINT64_MAX - 2;
@@ -199,7 +195,7 @@ private:
   /// The era this walk must stay within (0 for clockless schemes).
   uint64_t walkEra() const {
     if constexpr (HasEraClock)
-      return Smr.currentEra();
+      return Dom.scheme().currentEra();
     else
       return 0;
   }
@@ -209,7 +205,7 @@ private:
   /// last scan, so the walk must restart from the sentinels.
   bool eraAdvanced(uint64_t WalkEra) const {
     if constexpr (HasEraClock)
-      return Smr.currentEra() != WalkEra;
+      return Dom.scheme().currentEra() != WalkEra;
     else {
       (void)WalkEra;
       return false;
@@ -248,7 +244,7 @@ private:
     SR.SlotAnc = SR.SlotSucc = SR.SlotPar = NoSlot;
 
     SR.SlotLeaf = Alloc();
-    uintptr_t ParentField = Smr.derefLink(G, SNode->Left, SR.SlotLeaf);
+    uintptr_t ParentField = G.protect_link(SNode->Left, SR.SlotLeaf);
     if (eraAdvanced(WalkEra))
       return false; // the adopted pointer may postdate the published era
     SR.Leaf = toNode(ParentField);
@@ -256,7 +252,7 @@ private:
     while (true) {
       const unsigned SlotCur = Alloc();
       const uintptr_t CurrentField =
-          Smr.derefLink(G, childLink(SR.Leaf, K), SlotCur);
+          G.protect_link(childLink(SR.Leaf, K), SlotCur);
       if (eraAdvanced(WalkEra))
         return false;
       Node *Current = toNode(CurrentField);
@@ -338,17 +334,17 @@ private:
       std::atomic<uintptr_t> &Down = childLink(Cur, K);
       std::atomic<uintptr_t> &Off =
           (&Down == &Cur->Left) ? Cur->Right : Cur->Left;
-      Smr.retire(G, &toNode(Off.load(std::memory_order_acquire))->Hdr);
+      G.retire(&toNode(Off.load(std::memory_order_acquire))->Hdr);
       Node *Next = toNode(Down.load(std::memory_order_acquire));
-      Smr.retire(G, &Cur->Hdr);
+      G.retire(&Cur->Hdr);
       Cur = Next;
     }
     // At the parent: the survivor side was reattached above; the other
     // side is the removed victim leaf.
     std::atomic<uintptr_t> &VictimLink =
         (SibLink == &Parent->Left) ? Parent->Right : Parent->Left;
-    Smr.retire(G, &toNode(VictimLink.load(std::memory_order_acquire))->Hdr);
-    Smr.retire(G, &Parent->Hdr);
+    G.retire(&toNode(VictimLink.load(std::memory_order_acquire))->Hdr);
+    G.retire(&Parent->Hdr);
     return true;
   }
 
@@ -361,16 +357,16 @@ private:
       Node *Leaf = SR.Leaf;
       if (Leaf->K == K) {
         if (FreshLeaf) {
-          Smr.discard(&FreshLeaf->Hdr);
-          Smr.discard(&FreshInternal->Hdr);
+          G.discard(&FreshLeaf->Hdr);
+          G.discard(&FreshInternal->Hdr);
         }
         return false;
       }
       if (!FreshLeaf) {
         FreshLeaf = new Node(K, V);
-        Smr.initNode(G, &FreshLeaf->Hdr);
+        G.init(&FreshLeaf->Hdr);
         FreshInternal = new Node(0, 0);
-        Smr.initNode(G, &FreshInternal->Hdr);
+        G.init(&FreshInternal->Hdr);
       }
       // Routing node: key = max of the two leaves, smaller key on the left.
       FreshInternal->K = std::max(K, Leaf->K);
@@ -402,7 +398,7 @@ private:
       Node *Leaf = SR.Leaf;
       if (!FreshLeaf) {
         FreshLeaf = new Node(K, V);
-        Smr.initNode(G, &FreshLeaf->Hdr);
+        G.init(&FreshLeaf->Hdr);
       }
       std::atomic<uintptr_t> &Link = childLink(SR.Parent, K);
       if (Leaf->K == K) {
@@ -411,9 +407,9 @@ private:
         if (Link.compare_exchange_strong(Expected, toRaw(FreshLeaf),
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
-          Smr.retire(G, &Leaf->Hdr);
+          G.retire(&Leaf->Hdr);
           if (FreshInternal)
-            Smr.discard(&FreshInternal->Hdr);
+            G.discard(&FreshInternal->Hdr);
           return false;
         }
         if (toNode(Expected) == Leaf && (Expected & BitsMask))
@@ -423,7 +419,7 @@ private:
       // Absent: regular insert of (internal, leaf) pair.
       if (!FreshInternal) {
         FreshInternal = new Node(0, 0);
-        Smr.initNode(G, &FreshInternal->Hdr);
+        G.init(&FreshInternal->Hdr);
       }
       FreshInternal->K = std::max(K, Leaf->K);
       Node *L = (K < Leaf->K) ? FreshLeaf : Leaf;
@@ -477,7 +473,7 @@ private:
     }
   }
 
-  S Smr;
+  lfsmr::domain<S> Dom;
   Node *R;     ///< root sentinel (key inf2)
   Node *SNode; ///< child sentinel (key inf1)
 };

@@ -35,6 +35,14 @@ namespace lfsmr::smr {
 /// Hazard-pointer reclamation.
 class HP {
 public:
+  /// HP protects the raw pointer values published by `deref`: sweep
+  /// compares retired node addresses against the hazard slots. The
+  /// protected address must therefore BE the retired address, which only
+  /// intrusive nodes (header first) guarantee — the public API's
+  /// transparent mode (hidden header in front of the object) is
+  /// structurally unsafe here and is rejected via this flag.
+  static constexpr bool ProtectsAddresses = true;
+
   /// Per-node state: just the retired-list link (paper Table 1: 1 word).
   struct NodeHeader {
     NodeHeader *Next;
