@@ -50,6 +50,15 @@ struct SweepOptions {
   std::vector<std::string> Schemes;
 };
 
+/// Expands the `--schemes all` keyword to every runnable scheme (the
+/// paper lineup plus ablations); any other list passes through.
+inline std::vector<std::string>
+expandSchemes(std::vector<std::string> Requested) {
+  if (Requested.size() == 1 && Requested[0] == "all")
+    return harness::runnableSchemes();
+  return Requested;
+}
+
 /// Validates each name in \p Requested against the registry's runnable
 /// set; on an unknown name prints the valid set and exits 2 (no silent
 /// defaulting).
@@ -130,7 +139,7 @@ inline SweepOptions parseSweep(const CommandLine &Cmd) {
   }
   O.Prefill = static_cast<uint64_t>(Prefill);
   O.Seed = static_cast<uint64_t>(Cmd.getInt("seed", 0x5eed));
-  O.Schemes = Cmd.getStringList("schemes", harness::allSchemes());
+  O.Schemes = expandSchemes(Cmd.getStringList("schemes", harness::allSchemes()));
   checkSchemes(O.Schemes);
   return O;
 }

@@ -13,6 +13,8 @@
 #include "core/hyaline1s.h"
 #include "core/hyaline_packed.h"
 #include "core/hyaline_s.h"
+#include "lfsmr/kv.h"
+#include "lfsmr/version.h"
 #include "smr/ebr.h"
 #include "smr/he.h"
 #include "smr/hp.h"
@@ -21,6 +23,7 @@
 #include "smr/reclaimer_traits.h"
 #include "smr/scheme_list.h"
 #include "support/barrier.h"
+#include "support/random.h"
 
 #include <algorithm>
 #include <atomic>
@@ -105,12 +108,16 @@ constexpr uint64_t MicroOpsCap = uint64_t{1} << 40;
 constexpr uint64_t AllocOpsCap = uint64_t{1} << 24;
 
 /// Runs \p Body (thread index -> op count) on \p Threads workers for
-/// roughly \p Secs. A worker that hits its op cap exits early, so the
-/// aggregate throughput sums per-worker rates over each worker's own
-/// measured interval rather than dividing by the sleep duration.
-template <typename Body>
-void timedPhase(unsigned Threads, double Secs, Body &&Fn, double &MopsOut,
-                uint64_t &OpsOut, double &ElapsedOut) {
+/// roughly \p Secs, invoking \p Sampler from the coordinating thread
+/// about once per millisecond while they run (the harness runner's
+/// Figure 12 sampling idiom). A worker that hits its op cap exits
+/// early, so the aggregate throughput sums per-worker rates over each
+/// worker's own measured interval rather than dividing by the sleep
+/// duration.
+template <typename Body, typename Sample>
+void timedPhaseSampled(unsigned Threads, double Secs, Body &&Fn,
+                       Sample &&Sampler, double &MopsOut, uint64_t &OpsOut,
+                       double &ElapsedOut) {
   SpinBarrier Barrier(Threads + 1);
   std::atomic<bool> Stop{false};
   std::vector<uint64_t> Ops(Threads, 0);
@@ -127,7 +134,12 @@ void timedPhase(unsigned Threads, double Secs, Body &&Fn, double &MopsOut,
                     .count();
     });
   Barrier.arriveAndWait();
-  std::this_thread::sleep_for(std::chrono::duration<double>(Secs));
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(Secs);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Sampler();
+  }
   Stop.store(true, std::memory_order_relaxed);
   for (std::thread &W : Workers)
     W.join();
@@ -143,6 +155,14 @@ void timedPhase(unsigned Threads, double Secs, Body &&Fn, double &MopsOut,
   MopsOut = RateSum / 1e6;
   OpsOut = Total;
   ElapsedOut = MaxTook;
+}
+
+/// timedPhaseSampled without a sampler.
+template <typename Body>
+void timedPhase(unsigned Threads, double Secs, Body &&Fn, double &MopsOut,
+                uint64_t &OpsOut, double &ElapsedOut) {
+  timedPhaseSampled(Threads, Secs, std::forward<Body>(Fn), [] {}, MopsOut,
+                    OpsOut, ElapsedOut);
 }
 
 /// Shared state for one timed primitive run (one scheme instance).
@@ -304,10 +324,149 @@ void runEnterLeaveSuite(const CommandLine &Cmd, report::Report &Rep) {
   O.Secs = Cmd.getDouble("secs", Full ? 2.0 : 0.1);
   O.Repeats = static_cast<unsigned>(
       requireAtLeastOne(Cmd.getInt("repeats", Full ? 5 : 1), "repeats"));
-  O.Schemes = Cmd.getStringList("schemes", harness::allSchemes());
+  O.Schemes = expandSchemes(Cmd.getStringList("schemes", harness::allSchemes()));
   checkSchemes(O.Schemes);
   for (const std::string &Scheme : O.Schemes)
     dispatchScheme<MicroSuiteOp>(Scheme, O, Rep);
+}
+
+//===----------------------------------------------------------------------===//
+// kv: versioned key-value store (lfsmr::kv) — snapshot reads, write trim
+//===----------------------------------------------------------------------===//
+
+/// Workload mixes for the kv suite. Read/write are YCSB-ish point-op
+/// blends; snapshot interleaves writes with snapshot-handle read bursts,
+/// which is the pattern that exercises version pinning + trimming.
+enum class KvMix { Read, Write, Snapshot };
+
+/// One thread of a timed kv run; returns its op count.
+template <typename S>
+uint64_t kvWorker(kv::Store<S> &Db, KvMix Mix, unsigned Tid, uint64_t Seed,
+                  uint64_t KeyRange, std::atomic<bool> &Stop) {
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      const uint64_t K = Rng.nextBounded(KeyRange);
+      switch (Mix) {
+      case KvMix::Read:
+        // 90% get / 8% put / 2% erase (read-heavy serving).
+        if (Rng.nextPercent(90))
+          (void)Db.get(Tid, K);
+        else if (Rng.nextPercent(80))
+          Db.put(Tid, K, K * 2);
+        else
+          Db.erase(Tid, K);
+        break;
+      case KvMix::Write:
+        // 50% put / 30% erase / 20% get (version churn).
+        if (Rng.nextPercent(50))
+          Db.put(Tid, K, K * 2);
+        else if (Rng.nextPercent(60))
+          Db.erase(Tid, K);
+        else
+          (void)Db.get(Tid, K);
+        break;
+      case KvMix::Snapshot:
+        // Writers churn while every 256th op opens a snapshot and reads
+        // a 32-key burst through it (counted as ops).
+        if ((Ops & 255) == 0) {
+          kv::snapshot Snap = Db.open_snapshot();
+          for (unsigned J = 0; J < 32; ++J)
+            (void)Db.get(Tid, Rng.nextBounded(KeyRange), Snap);
+          Ops += 32;
+        }
+        if (Rng.nextPercent(60))
+          Db.put(Tid, K, K * 2);
+        else
+          (void)Db.get(Tid, K);
+        break;
+      }
+    }
+  }
+  return Ops;
+}
+
+template <typename S> struct KvSuiteOp {
+  static void run(const std::string &Scheme, const SweepOptions &O,
+                  report::Report &Rep) {
+    struct PanelDef {
+      const char *Panel;
+      const char *Mix;
+      KvMix M;
+    };
+    static constexpr PanelDef Panels[] = {
+        {"kv-read", "read", KvMix::Read},
+        {"kv-write", "write", KvMix::Write},
+        {"kv-snapshot", "snapshot", KvMix::Snapshot},
+    };
+    for (const PanelDef &P : Panels) {
+      for (const int64_t T : O.Threads) {
+        report::DataPoint Pt;
+        Pt.Suite = "kv";
+        Pt.Panel = P.Panel;
+        Pt.Structure = "kv";
+        Pt.Mix = P.Mix;
+        Pt.Scheme = Scheme;
+        Pt.Threads = static_cast<unsigned>(T);
+        for (unsigned R = 0; R < O.Repeats; ++R) {
+          kv::Options KO;
+          KO.Reclaim.MaxThreads = static_cast<unsigned>(T);
+          KO.Shards = 16;
+          KO.BucketsPerShard = nextPowerOfTwo(
+              std::max<uint64_t>(O.KeyRange / (16 * 4), 64));
+          kv::Store<S> Db(KO);
+          for (uint64_t K = 0; K < O.Prefill; ++K)
+            Db.put(0, K, K * 2);
+          double Mops = 0, Elapsed = 0;
+          uint64_t Ops = 0;
+          // Sample the Figure 12 metric while the workers run: the
+          // snapshot mix pins version chains mid-run, so the end-of-run
+          // residual would badly understate the true peak.
+          double SumUnreclaimed = 0;
+          int64_t PeakUnreclaimed = 0;
+          uint64_t Samples = 0;
+          timedPhaseSampled(
+              static_cast<unsigned>(T), O.Secs,
+              [&](unsigned Tid, std::atomic<bool> &Stop) {
+                // Per-thread stream off the suite seed (repeat R shifts
+                // it, matching the figure sweeps' seed discipline).
+                return kvWorker(Db, P.M, Tid,
+                                SplitMix64(O.Seed + R * 1024 + Tid).next(),
+                                O.KeyRange, Stop);
+              },
+              [&] {
+                const int64_t U = Db.stats().unreclaimed;
+                SumUnreclaimed += static_cast<double>(U);
+                if (U > PeakUnreclaimed)
+                  PeakUnreclaimed = U;
+                ++Samples;
+              },
+              Mops, Ops, Elapsed);
+          const memory_stats MS = Db.stats();
+          Pt.Mops.add(Mops);
+          Pt.AvgUnreclaimed.add(
+              Samples ? SumUnreclaimed / static_cast<double>(Samples)
+                      : static_cast<double>(MS.unreclaimed));
+          Pt.PeakUnreclaimed.add(
+              Samples ? static_cast<double>(PeakUnreclaimed)
+                      : static_cast<double>(MS.unreclaimed));
+          Pt.TotalOps += Ops;
+          Pt.WallSec += Elapsed;
+        }
+        Rep.addPoint(Pt);
+      }
+    }
+  }
+};
+
+void runKvSuite(const CommandLine &Cmd, report::Report &Rep) {
+  const SweepOptions O = parseSweep(Cmd);
+  for (const std::string &Scheme : O.Schemes)
+    dispatchScheme<KvSuiteOp>(Scheme, O, Rep);
+  Rep.note("kv: hp runs the store's intrusive node mode; every other "
+           "scheme runs transparent allocation (guard::create/retire)");
+  Rep.note("kv: nomm never reclaims trimmed versions (leaking floor)");
 }
 
 //===----------------------------------------------------------------------===//
@@ -417,9 +576,9 @@ void runStallSuite(const CommandLine &Cmd, report::Report &Rep) {
       Cmd.getInt("sample", std::max<int64_t>(O.TotalOps / 10, 1)), "sample");
   O.Seed = static_cast<uint64_t>(Cmd.getInt("seed", 0x5eed));
   // NoMM never reclaims, so a stalled-reader series says nothing new.
-  O.Schemes = Cmd.getStringList(
+  O.Schemes = expandSchemes(Cmd.getStringList(
       "schemes", {"epoch", "hyaline", "hyaline1", "hp", "he", "ibr",
-                  "hyalines", "hyaline1s"});
+                  "hyalines", "hyaline1s"}));
   checkSchemes(O.Schemes);
   for (const std::string &Scheme : O.Schemes) {
     if (Scheme == "nomm") {
@@ -482,7 +641,7 @@ const std::vector<std::string> &knownFlags() {
   static const std::vector<std::string> Flags = {
       "help",    "format",  "out",     "full",   "seed",
       "threads", "secs",    "repeats", "keyrange", "prefill",
-      "schemes", "ops",     "writers", "sample"};
+      "schemes", "ops",     "writers", "sample",   "version"};
   return Flags;
 }
 
@@ -549,6 +708,8 @@ const std::vector<Suite> &lfsmr::bench::allSuites() {
       {"nmtree", "Natarajan-Mittal tree sweep (Fig. 11c/11f, 12c/12f)",
        &runNMTreeSuite},
       {"bonsai", "Bonsai tree sweep (Fig. 13)", &runBonsaiSuite},
+      {"kv", "versioned KV store: snapshot reads + write-side trim",
+       &runKvSuite},
       {"enter-leave", "SMR primitive microbenchmarks (Section 3.2 costs)",
        &runEnterLeaveSuite},
       {"stall", "stalled-reader robustness series (Theorem 5)",
@@ -575,10 +736,12 @@ void lfsmr::bench::printUsage(std::FILE *Out) {
       "  --threads 1,4,8           thread counts to sweep\n"
       "  --secs S                  measured seconds per data point\n"
       "  --repeats N               repeats per data point\n"
-      "  --schemes a,b             scheme subset (default: all)\n"
+      "  --schemes a,b             scheme subset; `all` = every runnable\n"
+      "                            scheme incl. ablations\n"
       "  --keyrange N --prefill N  key space / prefill size\n"
       "  --seed S                  base suite seed (repeat R uses S+R)\n"
       "  --ops N --writers N --sample N   stall-suite churn parameters\n"
+      "  --version                 print version + build git sha, exit\n"
       "  --help                    this message\n");
 }
 
@@ -586,6 +749,13 @@ int lfsmr::bench::benchMain(int Argc, char **Argv) {
   const CommandLine Cmd(Argc, Argv);
   if (Cmd.has("help")) {
     printUsage(stdout);
+    return 0;
+  }
+  if (Cmd.has("version")) {
+    // The sha comes from the same provenance the JSON reports stamp
+    // (configure-time git sha with the $GITHUB_SHA runtime fallback).
+    std::printf("lfsmr-bench %s (%s)\n", LFSMR_VERSION_STRING,
+                report::collectMetadata().GitSha.c_str());
     return 0;
   }
   const std::vector<std::string> Unknown = Cmd.unknownFlags(knownFlags());
@@ -617,35 +787,4 @@ int lfsmr::bench::benchMain(int Argc, char **Argv) {
   }
   return runSuites(Run, Cmd, /*DefaultFormat=*/"human",
                    joinCommand(Argc, Argv));
-}
-
-int lfsmr::bench::deprecatedMain(const char *OldName, const char *SuiteName,
-                                 int Argc, char **Argv) {
-  // table1 was a human-readable table before; the sweeps printed CSV.
-  const char *DefaultFormat =
-      std::strcmp(SuiteName, "table1") == 0 ? "human" : "csv";
-  std::fprintf(stderr,
-               "note: %s is deprecated; use `lfsmr-bench %s` (this shim "
-               "forwards with --format %s by default)\n",
-               OldName, SuiteName, DefaultFormat);
-  const CommandLine Cmd(Argc, Argv);
-  if (Cmd.has("help")) {
-    printUsage(stdout);
-    return 0;
-  }
-  const std::vector<std::string> Unknown = Cmd.unknownFlags(knownFlags());
-  if (!Unknown.empty()) {
-    std::fprintf(stderr, "error: unknown flag --%s\n\n", Unknown[0].c_str());
-    printUsage(stderr);
-    return 2;
-  }
-  const Suite *Found = nullptr;
-  for (const Suite &S : allSuites())
-    if (std::strcmp(SuiteName, S.Name) == 0)
-      Found = &S;
-  if (!Found) {
-    std::fprintf(stderr, "error: unknown suite '%s'\n", SuiteName);
-    return 2;
-  }
-  return runSuites({Found}, Cmd, DefaultFormat, joinCommand(Argc, Argv));
 }

@@ -13,6 +13,7 @@
 ///   hashmap     Michael hash map           (Fig. 11b/11e + 12b/12e)
 ///   nmtree      Natarajan-Mittal tree      (Fig. 11c/11f + 12c/12f)
 ///   bonsai      Bonsai tree                (Fig. 13)
+///   kv          versioned KV store         (snapshot reads, lfsmr::kv)
 ///   enter-leave SMR primitive microbench   (Section 3.2 costs)
 ///   stall       stalled-reader robustness  (Theorem 5 / Section 4.2)
 ///   table1      qualitative comparison     (Table 1, measured headers)
@@ -20,8 +21,7 @@
 ///
 /// Every suite writes through the structured report layer
 /// (support/report.h), so one invocation yields one JSON/CSV/human
-/// document carrying run metadata. The deprecated per-figure binaries
-/// forward here via deprecatedMain().
+/// document carrying run metadata.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,16 +50,10 @@ const std::vector<Suite> &allSuites();
 /// Prints the subcommand/flag reference to \p Out.
 void printUsage(std::FILE *Out);
 
-/// Entry point of `lfsmr-bench`: parses the subcommand, rejects unknown
-/// flags/suites/schemes with a usage message, runs the suite(s) into a
-/// report. Returns the process exit code.
+/// Entry point of `lfsmr-bench`: parses the subcommand (and `--version`),
+/// rejects unknown flags/suites/schemes with a usage message, runs the
+/// suite(s) into a report. Returns the process exit code.
 int benchMain(int Argc, char **Argv);
-
-/// Entry point of the deprecated per-figure binaries: prints a pointer to
-/// the `lfsmr-bench` subcommand on stderr, then runs \p SuiteName with
-/// the legacy-friendly CSV default format.
-int deprecatedMain(const char *OldName, const char *SuiteName, int Argc,
-                   char **Argv);
 
 } // namespace lfsmr::bench
 

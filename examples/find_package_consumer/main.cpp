@@ -13,11 +13,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include <lfsmr/kv.h> // also reachable via <lfsmr/lfsmr.h>; explicit here
 #include <lfsmr/lfsmr.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -157,6 +159,51 @@ void anyDomainRoundTrip() {
         "custom deleter ran once per reclaiming scheme");
 }
 
+/// The versioned KV store from the installed package: snapshot
+/// isolation, write-side version trim, and the HP intrusive mode — the
+/// whole subsystem must work against `<lfsmr/kv.h>` alone.
+template <typename Scheme> void kvRoundTrip(const char *Name) {
+  lfsmr::kv::options Opt;
+  Opt.Reclaim.MaxThreads = 4;
+  Opt.Shards = 2;
+  Opt.BucketsPerShard = 64;
+  lfsmr::kv::store<Scheme> Db(Opt);
+
+  check(Db.put(0, 1, 10), "kv: first put inserts");
+  lfsmr::kv::snapshot Snap = Db.open_snapshot();
+  check(!Db.put(0, 1, 20), "kv: second put replaces");
+  const std::optional<uint64_t> Latest = Db.get(0, 1);
+  const std::optional<uint64_t> AtSnap = Db.get(0, 1, Snap);
+  check(Latest && *Latest == 20, "kv: latest read sees the newest version");
+  check(AtSnap && *AtSnap == 10, "kv: snapshot read sees its version");
+  check(Db.erase(0, 1), "kv: erase removes the live binding");
+  check(!Db.get(0, 1).has_value(), "kv: erased key reads absent");
+  check(Db.get(0, 1, Snap).has_value(), "kv: snapshot outlives the erase");
+  Snap.reset();
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 2; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t I = 0; I < 1500; ++I) {
+        const uint64_t K = (T * 1500) + (I % 50);
+        Db.put(T, K, K * 2);
+        if (lfsmr::kv::snapshot S = Db.open_snapshot(); true) {
+          const std::optional<uint64_t> A = Db.get(T, K, S);
+          const std::optional<uint64_t> B = Db.get(T, K, S);
+          check(A == B, "kv: snapshot reads repeat");
+        }
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  for (uint64_t K = 0; K < 3050; ++K)
+    Db.erase(0, K);
+  Db.compact(0);
+  const lfsmr::memory_stats MS = Db.stats();
+  check(MS.allocated == MS.retired, Name);
+  check(Db.live_snapshots() == 0, "kv: all snapshots released");
+}
+
 /// A public container over an installed scheme alias.
 void containerRoundTrip() {
   lfsmr::config Cfg;
@@ -184,6 +231,9 @@ int main() {
   intrusiveDomainRoundTrip();
   anyDomainRoundTrip();
   containerRoundTrip();
+  kvRoundTrip<lfsmr::schemes::hyaline_s>("kv store accounting (hyaline-s)");
+  kvRoundTrip<lfsmr::schemes::hazard_pointers>(
+      "kv store accounting (hp, intrusive mode)");
   if (Failures) {
     std::fprintf(stderr, "%d check(s) failed\n", Failures);
     return 1;

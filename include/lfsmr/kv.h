@@ -1,0 +1,77 @@
+//===- lfsmr/kv.h - Versioned key-value store --------------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `lfsmr::kv` — a sharded, versioned key-value store with snapshot
+/// reads, built entirely on the public reclamation API. It is the
+/// library's serving-scale workload: every allocation and retirement
+/// flows through `lfsmr::domain`/`lfsmr::guard` (transparent mode where
+/// the scheme allows it, intrusive headers under hazard pointers), and a
+/// versioned store retires obsolete versions at write rate — the shape
+/// of load that separates robust reclamation schemes from the rest.
+///
+/// \code
+///   #include <lfsmr/kv.h>
+///
+///   lfsmr::kv::store<lfsmr::schemes::hyaline_s> db;
+///
+///   db.put(tid, /*key=*/42, /*value=*/1);
+///   lfsmr::kv::snapshot snap = db.open_snapshot();
+///   db.put(tid, 42, 2);
+///
+///   db.get(tid, 42);        // => 2 (latest)
+///   db.get(tid, 42, snap);  // => 1 (as of the snapshot)
+///   db.for_each(tid, snap, [](uint64_t k, uint64_t v) { ... });
+/// \endcode
+///
+/// Semantics:
+///
+///  - **Versioned writes.** `put`/`erase` append a stamped version to the
+///    key's lock-free chain; `erase` writes a tombstone so older
+///    snapshots keep seeing the previous value.
+///  - **Snapshot reads.** `open_snapshot()` captures the store-wide
+///    version clock; reads through the handle are repeatable and see,
+///    per key, the newest version at or below the captured value.
+///  - **Write-side trimming.** Versions older than what the oldest live
+///    snapshot can see are retired by the writers themselves — no
+///    background thread. With no snapshot open every chain trims to one
+///    version; a long-lived snapshot pins history *by design* (that is
+///    its contract), while reclamation robustness under a stalled
+///    *guard* is whatever the chosen scheme guarantees.
+///  - **All nine schemes.** The store picks intrusive node layout for
+///    address-protecting schemes (HP) and transparent allocation for the
+///    rest, so `store<Scheme>` compiles and runs for every alias in
+///    `lfsmr/schemes.h`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_KV_H
+#define LFSMR_KV_H
+
+#include "kv/snapshot_registry.h"
+#include "kv/store.h"
+
+namespace lfsmr::kv {
+
+/// Sharded, versioned KV store (64-bit keys and values) generic over the
+/// reclamation scheme. See `kv::Store` for the full operation surface:
+/// `put`, `erase`, `get`, `get(at snapshot)`, `open_snapshot`,
+/// `for_each`, `compact`, `stats`.
+template <typename Scheme> using store = Store<Scheme>;
+
+/// Move-only RAII snapshot handle returned by `store::open_snapshot`;
+/// releases its claim on destruction. `version()` is the clock value it
+/// reads at. Destroy (or `reset()`) every handle before the store it
+/// came from — releasing writes into store-owned state.
+using snapshot = SnapshotHandle;
+
+/// Construction-time knobs: shard count, buckets per shard, initial
+/// snapshot-slot count, and the reclamation-domain configuration.
+using options = Options;
+
+} // namespace lfsmr::kv
+
+#endif // LFSMR_KV_H

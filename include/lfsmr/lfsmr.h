@@ -15,6 +15,8 @@
 ///  - `lfsmr/any_domain.h` — the same facade with the scheme chosen by
 ///    runtime name;
 ///  - `lfsmr/containers.h` — the lock-free container lineup;
+///  - `lfsmr/kv.h` — the sharded, versioned key-value store with
+///    snapshot reads;
 ///  - `lfsmr/version.h` — version macros (generated).
 ///
 /// Consumers installed via `find_package(lfsmr)` include only
@@ -46,6 +48,9 @@ namespace smr {}
 /// Internal lock-free container implementations behind the
 /// `lfsmr::hm_list`-style aliases; not a stable interface.
 namespace ds {}
+/// The sharded, versioned key-value store with snapshot reads
+/// (`kv::store`, `kv::snapshot`, `kv::options`).
+namespace kv {}
 } // namespace lfsmr
 
 #include "lfsmr/any_domain.h"
@@ -53,6 +58,7 @@ namespace ds {}
 #include "lfsmr/containers.h"
 #include "lfsmr/domain.h"
 #include "lfsmr/guard.h"
+#include "lfsmr/kv.h"
 #include "lfsmr/protected_ptr.h"
 #include "lfsmr/schemes.h"
 #include "lfsmr/version.h"

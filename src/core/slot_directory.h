@@ -70,6 +70,11 @@ public:
     return Arrays[S].load(std::memory_order_acquire)[I - Base];
   }
 
+  /// \copydoc slot
+  const T &slot(std::size_t I) const {
+    return const_cast<SlotDirectory *>(this)->slot(I);
+  }
+
   /// Doubles the slot count if it is still \p ExpectedK (otherwise another
   /// thread already grew it and this call is a no-op). Lock-free: racing
   /// growers allocate speculatively and the CAS loser frees its buffer.

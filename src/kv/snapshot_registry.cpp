@@ -1,0 +1,120 @@
+//===- kv/snapshot_registry.cpp - Version clock + snapshot slots ----------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/snapshot_registry.h"
+
+#include <cassert>
+
+namespace lfsmr::kv {
+
+SnapshotRegistry::SnapshotRegistry(std::size_t MinSlots)
+    : Slots(MinSlots ? MinSlots : 1) {}
+
+SnapshotRegistry::Ticket SnapshotRegistry::acquire() {
+  for (;;) {
+    std::uint64_t S = clock();
+    assert(S <= StampMask && "version clock exceeded 48 bits");
+    const std::size_t K = Slots.capacity();
+
+    // Pass 1: share a slot already *validated* at this exact stamp (the
+    // Snapshots-repo idiom — readers of one clock value pool one
+    // refcounted word). Only validated words are joinable: a validation
+    // at stamp S proves the clock has never exceeded S (a later clock
+    // load returned S and the clock is monotone), so no trim with a
+    // floor above S has ever scanned; and the successful CAS proves the
+    // word still reads [n>=1 | validated | S], a state only a fresh
+    // validation at S can rebuild, so the proof survives release and
+    // re-claim of the slot in between. A published-but-unvalidated word
+    // gives no such guarantee (its owner's clock read may predate a
+    // trim entirely) and is never joined.
+    for (std::size_t I = 0; I < K; ++I) {
+      std::atomic<std::uint64_t> &Slot = Slots.slot(I);
+      std::uint64_t W = Slot.load(std::memory_order_seq_cst);
+      if (packedValidated(W) && packedStamp(W) == S && packedCount(W) != 0 &&
+          packedCount(W) < MaxCount &&
+          Slot.compare_exchange_strong(W, W + One, std::memory_order_seq_cst,
+                                       std::memory_order_seq_cst))
+        return Ticket{S, I};
+    }
+
+    // Pass 2: claim a free slot and publish-then-validate. The loop
+    // settles once the clock holds still across one publish; every
+    // iteration of the retry means a writer advanced the clock
+    // (system-wide progress), so this is lock-free. While the word is
+    // unvalidated, the owner is its only writer (sharers skip it,
+    // claimants require count 0), so the owner's CASes cannot fail.
+    for (std::size_t I = 0; I < K; ++I) {
+      std::atomic<std::uint64_t> &Slot = Slots.slot(I);
+      std::uint64_t W = Slot.load(std::memory_order_seq_cst);
+      if (packedCount(W) != 0)
+        continue;
+      if (!Slot.compare_exchange_strong(W, pack(1, S),
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst))
+        continue; // raced; try the next slot
+      for (;;) {
+        const std::uint64_t Now = clock();
+        if (Now == S) {
+          // Published value is current: from here on every trim scan
+          // sees it, and no trim before the publish can have run with
+          // the clock past S. Setting the validated bit opens the slot
+          // for sharing. The fence-strength loads also make every
+          // version CAS-published before a stamp <= S visible to this
+          // thread's subsequent chain walks.
+          std::uint64_t Expect = pack(1, S);
+          [[maybe_unused]] const bool Ok = Slot.compare_exchange_strong(
+              Expect, pack(1, S) | ValidatedBit, std::memory_order_seq_cst,
+              std::memory_order_seq_cst);
+          assert(Ok && "unvalidated slot word had a second writer");
+          return Ticket{S, I};
+        }
+        assert(Now <= StampMask && "version clock exceeded 48 bits");
+        // Clock moved during validation: swap our published stamp for
+        // the newer one and re-validate.
+        std::uint64_t Expect = pack(1, S);
+        [[maybe_unused]] const bool Ok = Slot.compare_exchange_strong(
+            Expect, pack(1, Now), std::memory_order_seq_cst,
+            std::memory_order_seq_cst);
+        assert(Ok && "unvalidated slot word had a second writer");
+        S = Now;
+      }
+    }
+
+    // Every slot busy: double the directory (lock-free, slots never
+    // move) and rescan.
+    Slots.grow(K);
+  }
+}
+
+void SnapshotRegistry::release(const Ticket &T) {
+  Slots.slot(T.Slot).fetch_sub(One, std::memory_order_seq_cst);
+}
+
+std::uint64_t SnapshotRegistry::minLive() const {
+  std::uint64_t Min = Pending;
+  // Capacity first, then the slots: a slot claimed in an array this scan
+  // does not cover was published after the capacity read; the trimmer's
+  // confirm loop (a later scan ordered after the boundary stamp settled)
+  // is what catches those late publishers.
+  const std::size_t K = Slots.capacity();
+  for (std::size_t I = 0; I < K; ++I) {
+    const std::uint64_t W = Slots.slot(I).load(std::memory_order_seq_cst);
+    if (packedCount(W) != 0 && packedStamp(W) < Min)
+      Min = packedStamp(W);
+  }
+  return Min;
+}
+
+std::size_t SnapshotRegistry::liveSnapshots() const {
+  const std::size_t K = Slots.capacity();
+  std::size_t Live = 0;
+  for (std::size_t I = 0; I < K; ++I)
+    Live += static_cast<std::size_t>(
+        packedCount(Slots.slot(I).load(std::memory_order_seq_cst)));
+  return Live;
+}
+
+} // namespace lfsmr::kv

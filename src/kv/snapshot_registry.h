@@ -1,0 +1,225 @@
+//===- kv/snapshot_registry.h - Version clock + snapshot slots ---*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The version clock and live-snapshot tracking behind `lfsmr::kv`.
+///
+/// Every write to the store draws a *version stamp* from a global
+/// monotone clock; a reader opens a *snapshot* by publishing the clock
+/// value it intends to read at into a slot, so writers can compute the
+/// oldest stamp any live snapshot still needs and trim version chains
+/// past it.
+///
+/// The slot protocol borrows two ideas from the retrieved related work:
+///
+///  - the *refcounted-handle word* of PalmerHogen/Snapshots: each slot is
+///    one atomic word packing `[refcount:15 | validated:1 | stamp:48]`,
+///    so acquiring and releasing a handle are single RMWs and concurrent
+///    readers of the same clock value share one slot;
+///  - the *publish-then-validate* loop of the era-based reclamation
+///    schemes (HE, Hyaline-S): after publishing a stamp the opener
+///    re-reads the clock and retries until the published value is the
+///    current one, which closes the classic race between reading the
+///    clock and announcing the read (a writer that advanced the clock
+///    and trimmed in between forces a retry; see `acquire`).
+///
+/// The validated bit is what makes slot *sharing* sound: only the slot's
+/// owner may rewrite an unvalidated word, and sharers join exclusively
+/// validated ones. A successful validation (clock still equal to the
+/// published stamp) proves the clock has never moved past that stamp, so
+/// no trim with a higher floor can have happened yet — and any word that
+/// reads `[n>=1 | validated | s]` can only have been rebuilt through a
+/// fresh validation at `s`, so the proof survives release/re-claim ABA.
+///
+/// Slots live in a `core::SlotDirectory` — the paper's Section 4.3
+/// grow-only directory — so the number of concurrently live snapshots is
+/// unbounded: when every slot is busy the opener doubles the slot set
+/// lock-free and existing slots never move.
+///
+/// All clock and slot operations are `seq_cst`. The correctness argument
+/// (documented at `acquire` and `minLive`) leans on the single total
+/// order of the clock's RMWs and the validation loads; do not weaken the
+/// orderings without redoing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_KV_SNAPSHOT_REGISTRY_H
+#define LFSMR_KV_SNAPSHOT_REGISTRY_H
+
+#include "core/slot_directory.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace lfsmr::kv {
+
+/// The store-wide version clock plus the slot set tracking live
+/// snapshots. One instance per `kv::Store`; shared by every shard.
+class SnapshotRegistry {
+public:
+  /// Stamp value of a version that has been published into a chain but
+  /// not yet assigned its clock value (see `resolve`).
+  static constexpr std::uint64_t Pending = ~std::uint64_t{0};
+
+  /// Stamps are packed into 48 bits of the slot word; the clock must
+  /// stay below this (about 2.8e14 writes — years of continuous churn;
+  /// asserted in debug builds).
+  static constexpr std::uint64_t StampBits = 48;
+  static constexpr std::uint64_t StampMask = (std::uint64_t{1} << StampBits) - 1;
+
+  /// \p MinSlots seeds the slot directory (power of two; grows on
+  /// demand when more snapshots are live concurrently).
+  explicit SnapshotRegistry(std::size_t MinSlots);
+
+  SnapshotRegistry(const SnapshotRegistry &) = delete;
+  SnapshotRegistry &operator=(const SnapshotRegistry &) = delete;
+
+  /// A claim on one slot: the stamp this snapshot reads at, and the slot
+  /// index holding its reference.
+  struct Ticket {
+    std::uint64_t Stamp = 0;
+    std::size_t Slot = 0;
+  };
+
+  /// Current clock value (the stamp the next snapshot would read at).
+  std::uint64_t clock() const {
+    return Clock.load(std::memory_order_seq_cst);
+  }
+
+  /// Advances the clock and returns the new value — the stamp of one
+  /// write. Called after the version is already published (stamp order
+  /// therefore trails publication order; `resolve` ties the two).
+  std::uint64_t tick() {
+    return Clock.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Resolves a possibly-Pending version stamp: if \p Stamp is still
+  /// Pending, draws a clock value and installs it (first CAS wins — the
+  /// writer and any helping reader race benignly). Returns the settled
+  /// value. Publish-before-stamp is what makes snapshot reads stable: a
+  /// version published after a snapshot validated stamp `s` can only
+  /// resolve to a value > `s`, so the snapshot never sees it "appear".
+  std::uint64_t resolve(std::atomic<std::uint64_t> &Stamp) {
+    std::uint64_t V = Stamp.load(std::memory_order_seq_cst);
+    if (V != Pending)
+      return V;
+    std::uint64_t Fresh = tick();
+    if (Stamp.compare_exchange_strong(V, Fresh, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst))
+      return Fresh;
+    return V; // a racer resolved it first
+  }
+
+  /// Opens a snapshot at the current clock value. Never fails: when all
+  /// slots are busy the directory grows. The returned ticket's stamp is
+  /// *validated*: at some instant after the slot was published, the
+  /// clock still equalled the stamp — so every version that could be
+  /// visible at it is protected from trimming from that instant on
+  /// (`minLive` scans after the trigger write's tick, and any trim that
+  /// scanned earlier ran with the clock at or below the stamp, which
+  /// cannot remove the version visible at it).
+  Ticket acquire();
+
+  /// Releases one reference on \p T's slot.
+  void release(const Ticket &T);
+
+  /// The oldest stamp any live snapshot holds, or `Pending` (+inf) when
+  /// none is live. Writers trim version-chain suffixes strictly below
+  /// the newest version at or below this value. One scan alone is not a
+  /// trim license: a snapshot may validate between the scan and a
+  /// stamp-settling `resolve` tick at a value below the would-be
+  /// boundary. Trimmers must therefore confirm the boundary's *settled*
+  /// stamp against a scan ordered after the settle (`Store::trimChain`'s
+  /// confirm loop): a snapshot below a stamp that settled before the
+  /// scan would have validated — and so published — before it, making it
+  /// visible here.
+  std::uint64_t minLive() const;
+
+  /// Number of live snapshot references across all slots (approximate
+  /// under concurrency; exact at quiescence). For tests and stats.
+  std::size_t liveSnapshots() const;
+
+  /// Current slot capacity (grows on demand; for tests).
+  std::size_t slotCapacity() const { return Slots.capacity(); }
+
+private:
+  /// Slot word layout: [refcount:15 | validated:1 | stamp:48].
+  static constexpr std::uint64_t ValidatedBit = std::uint64_t{1} << StampBits;
+  static constexpr std::uint64_t One = std::uint64_t{1} << (StampBits + 1);
+  static constexpr std::uint64_t MaxCount = (std::uint64_t{1} << 15) - 1;
+
+  static std::uint64_t packedStamp(std::uint64_t W) { return W & StampMask; }
+  static bool packedValidated(std::uint64_t W) { return W & ValidatedBit; }
+  static std::uint64_t packedCount(std::uint64_t W) {
+    return W >> (StampBits + 1);
+  }
+  static std::uint64_t pack(std::uint64_t Count, std::uint64_t Stamp) {
+    return (Count << (StampBits + 1)) | Stamp;
+  }
+
+  std::atomic<std::uint64_t> Clock{1};
+  core::SlotDirectory<std::atomic<std::uint64_t>> Slots;
+};
+
+/// Move-only RAII handle over one registry ticket: releases on
+/// destruction. `lfsmr::kv::snapshot` is an alias of this type. The
+/// handle must not outlive the registry (i.e. the store) it was opened
+/// on — destruction writes a release into it.
+class SnapshotHandle {
+public:
+  /// An empty handle (no snapshot open).
+  SnapshotHandle() = default;
+
+  /// Opens a snapshot on \p Reg (prefer `Store::open_snapshot`).
+  explicit SnapshotHandle(SnapshotRegistry &Reg)
+      : Registry(&Reg), T(Reg.acquire()) {}
+
+  ~SnapshotHandle() { reset(); }
+
+  SnapshotHandle(const SnapshotHandle &) = delete;
+  SnapshotHandle &operator=(const SnapshotHandle &) = delete;
+
+  /// Transfers the claim; the source becomes empty.
+  SnapshotHandle(SnapshotHandle &&Other) noexcept
+      : Registry(Other.Registry), T(Other.T) {
+    Other.Registry = nullptr;
+  }
+
+  SnapshotHandle &operator=(SnapshotHandle &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Registry = Other.Registry;
+      T = Other.T;
+      Other.Registry = nullptr;
+    }
+    return *this;
+  }
+
+  /// Releases the claim early (idempotent). Reads through the handle are
+  /// invalid afterwards.
+  void reset() {
+    if (Registry) {
+      Registry->release(T);
+      Registry = nullptr;
+    }
+  }
+
+  /// True while the snapshot is open.
+  bool valid() const { return Registry != nullptr; }
+
+  /// The clock value this snapshot reads at: it observes, for every key,
+  /// the newest version whose stamp is at or below this.
+  std::uint64_t version() const { return T.Stamp; }
+
+private:
+  SnapshotRegistry *Registry = nullptr;
+  SnapshotRegistry::Ticket T;
+};
+
+} // namespace lfsmr::kv
+
+#endif // LFSMR_KV_SNAPSHOT_REGISTRY_H

@@ -1,0 +1,745 @@
+//===- kv/store.h - Sharded versioned key-value store ------------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `lfsmr::kv::Store<Scheme>`: a lock-free, sharded, *versioned*
+/// key-value store built entirely on the public reclamation API
+/// (`lfsmr::domain` / `lfsmr::guard`). It is the library's serving-scale
+/// consumer: where the `src/ds/` containers each exercise one paper
+/// figure, the store exercises the reclamation schemes the way a real
+/// workload does — short hash operations, CAS-appended version chains
+/// that retire at write rate, and snapshot readers that pin history.
+///
+/// Shape:
+///
+///   store ── shard[0..S) ── bucket[0..B) ── key chain (Michael list)
+///                                              │
+///                                         version chain (newest first)
+///                                  [stamp | value | tombstone] → older …
+///
+///  - Buckets are Michael-style sorted chains of *key nodes* with the
+///    usual mark-bit unlink protocol (`find`).
+///  - Each key node owns a version chain: every `put`/`erase` CAS-appends
+///    a fresh `[stamp | value]` node at the head. Stamps are drawn from
+///    the store's `SnapshotRegistry` clock *after* publication
+///    (publish-then-stamp); readers that meet a still-pending stamp help
+///    assign it, which is what makes snapshot reads repeatable.
+///  - A snapshot (`SnapshotHandle`) reads, for every key, the newest
+///    version whose stamp is at or below its validated clock value.
+///  - Writers trim the version-chain *suffix* past the oldest live
+///    snapshot right after appending (no background thread): the chain
+///    below the newest version any live snapshot can see is detached
+///    with an ownership-transferring `exchange` walk and retired through
+///    the guard. A chain reduced to one settled tombstone unlinks its
+///    key node entirely.
+///
+/// Reclamation-mode selection is automatic: address-protecting schemes
+/// (HP) get intrusive nodes (scheme header first, a `Kind` tag
+/// dispatching the shared deleter); every other scheme runs the
+/// transparent allocation mode (`guard::create` / `retire(ptr)`, no
+/// header in the node types). All nine schemes — including HP — run the
+/// same store code.
+///
+/// Protection-slot discipline (HP/HE): bucket `find` rotates slots 0–2
+/// exactly like `ds::ListOps`; version-chain walks rotate slots 3–4.
+/// `Options::Reclaim.NumHazards` is raised to at least 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_KV_STORE_H
+#define LFSMR_KV_STORE_H
+
+#include "kv/snapshot_registry.h"
+#include "lfsmr/domain.h"
+#include "support/align.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lfsmr::kv {
+
+/// Construction-time knobs for `Store`.
+struct Options {
+  /// Reclamation-domain configuration (`NumHazards` is raised to >= 8;
+  /// the store's chain walks hold up to six protections live).
+  lfsmr::config Reclaim;
+
+  /// Shard count; rounded up to a power of two. Each shard owns an
+  /// independent, cache-padded bucket array.
+  std::size_t Shards = 8;
+
+  /// Buckets per shard; rounded up to a power of two.
+  std::size_t BucketsPerShard = 1024;
+
+  /// Initial snapshot-slot count (power of two). The slot directory
+  /// grows lock-free when more snapshots are live concurrently.
+  std::size_t MinSnapshotSlots = 8;
+};
+
+/// Sharded, versioned KV store with snapshot reads, generic over the
+/// reclamation scheme \p Scheme. Keys and values are 64-bit integers
+/// (matching the library's container lineup). Immovable; construct
+/// before the threads that use it, destroy after they quiesce.
+template <typename Scheme> class Store {
+public:
+  /// Key type (Fibonacci-hashed onto shards and buckets).
+  using key_type = std::uint64_t;
+  /// Value type.
+  using value_type = std::uint64_t;
+  /// The RAII guard all operations run under.
+  using guard_type = lfsmr::guard<Scheme>;
+
+  /// True when \p Scheme protects published addresses (HP) and the store
+  /// therefore runs intrusive nodes instead of transparent allocation.
+  static constexpr bool IntrusiveMode = detail::protectsAddresses<Scheme>;
+
+  /// Builds the store: shard/bucket arrays, the snapshot registry, and
+  /// one reclamation domain in the mode \p Scheme supports.
+  explicit Store(const Options &O = {})
+      : Opt(normalize(O)), Registry(Opt.MinSnapshotSlots),
+        ShardBits(floorLog2(Opt.Shards)), BucketMask(Opt.BucketsPerShard - 1) {
+    if constexpr (IntrusiveMode)
+      Dom.emplace(Opt.Reclaim, &Store::deleteNode, nullptr);
+    else
+      Dom.emplace(Opt.Reclaim);
+    Shards.reset(new ShardState[Opt.Shards]);
+    for (std::size_t S = 0; S < Opt.Shards; ++S) {
+      Shards[S].Buckets.reset(
+          new std::atomic<std::uintptr_t>[Opt.BucketsPerShard]);
+      for (std::size_t B = 0; B < Opt.BucketsPerShard; ++B)
+        Shards[S].Buckets[B].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drains every key and version node. Concurrent access must have
+  /// ceased and every snapshot handle must have been destroyed or
+  /// `reset()` — a handle merely left unused still releases into the
+  /// store-owned registry when it is eventually destroyed, which would
+  /// then be freed memory.
+  ~Store() {
+    assert(Registry.liveSnapshots() == 0 &&
+           "destroy or reset() every kv::snapshot before the store");
+    auto G = Dom->enter(0);
+    for (std::size_t S = 0; S < Opt.Shards; ++S)
+      for (std::size_t B = 0; B < Opt.BucketsPerShard; ++B) {
+        std::uintptr_t Raw =
+            Shards[S].Buckets[B].load(std::memory_order_relaxed);
+        while (KNode *KN = toK(Raw)) {
+          std::uintptr_t V =
+              kr(KN).VHead.load(std::memory_order_relaxed) & ~Tag;
+          while (VNode *VN = toV(V)) {
+            V = vr(VN).Older.load(std::memory_order_relaxed);
+            discardVersion(G, VN);
+          }
+          Raw = kr(KN).Next.load(std::memory_order_relaxed) & ~Tag;
+          discardKey(G, KN);
+        }
+      }
+  }
+
+  Store(const Store &) = delete;
+  Store &operator=(const Store &) = delete;
+
+  /// Inserts or replaces the binding for \p K, appending a new version.
+  /// Returns true when \p K had no live binding (fresh insert or
+  /// insert over a tombstone). Trims the version-chain suffix past the
+  /// oldest live snapshot before returning.
+  bool put(thread_id Tid, key_type K, value_type V) {
+    auto G = Dom->enter(Tid);
+    return write(G, K, V, /*Tombstone=*/false);
+  }
+
+  /// Removes the binding for \p K by appending a tombstone version (so
+  /// older snapshots keep seeing the previous value). Returns false when
+  /// \p K had no live binding. Once no snapshot can see anything but the
+  /// tombstone, the key node itself is unlinked and retired.
+  bool erase(thread_id Tid, key_type K) {
+    auto G = Dom->enter(Tid);
+    return write(G, K, 0, /*Tombstone=*/true);
+  }
+
+  /// Latest-value read: the newest version of \p K, or nullopt when the
+  /// key is absent or tombstoned.
+  std::optional<value_type> get(thread_id Tid, key_type K) {
+    auto G = Dom->enter(Tid);
+    Position Pos = find(G, bucket(K), K);
+    if (!Pos.Found)
+      return std::nullopt;
+    const std::uintptr_t H = G.protect_link(kr(Pos.Curr).VHead, VSlotA);
+    if (H & Tag)
+      return std::nullopt; // key logically removed
+    VNode *Head = toV(H);
+    if (!Head || vr(Head).Tombstone)
+      return std::nullopt;
+    return vr(Head).Val;
+  }
+
+  /// Snapshot read: the newest version of \p K whose stamp is at or
+  /// below \p Snap's validated clock value. Repeatable: two reads of the
+  /// same key through the same snapshot return the same result.
+  std::optional<value_type> get(thread_id Tid, key_type K,
+                                const SnapshotHandle &Snap) {
+    auto G = Dom->enter(Tid);
+    Position Pos = find(G, bucket(K), K);
+    if (!Pos.Found)
+      return std::nullopt;
+    return readAt(G, Pos.Curr, Snap.version());
+  }
+
+  /// Opens a snapshot of the whole store at the current version clock.
+  /// While it is live, writers stop trimming versions it can see; the
+  /// handle releases on destruction. Any thread may open one (no
+  /// thread-id needed — the registry is transparent). The handle must
+  /// not outlive the store: destroy or `reset()` it first (its release
+  /// writes into the store-owned registry).
+  SnapshotHandle open_snapshot() { return SnapshotHandle(Registry); }
+
+  /// Scans every binding visible at \p Snap, invoking
+  /// `Fn(key, value)`. Keys arrive in unspecified order; the callback
+  /// runs under an open guard, so it must not block. Bindings mutated
+  /// concurrently are reported as of the snapshot.
+  template <typename F>
+  void for_each(thread_id Tid, const SnapshotHandle &Snap, F &&Fn) {
+    const std::uint64_t At = Snap.version();
+    forEachKeyNode(Tid, [&](guard_type &G, KNode *KN) {
+      if (std::optional<value_type> V = readAt(G, KN, At))
+        Fn(kr(KN).Key, *V);
+    });
+  }
+
+  /// Walks the whole store once, trimming every version chain against
+  /// the current oldest live snapshot and unlinking keys reduced to a
+  /// settled tombstone. Writers already trim as they go; this exists for
+  /// read-mostly phases and for deterministic accounting in tests.
+  void compact(thread_id Tid) {
+    std::vector<key_type> Keys;
+    forEachKeyNode(Tid, [&](guard_type &, KNode *KN) {
+      Keys.push_back(kr(KN).Key);
+    });
+    for (const key_type K : Keys) {
+      auto G = Dom->enter(Tid);
+      Position Pos = find(G, bucket(K), K);
+      if (Pos.Found)
+        trimChain(G, Pos.Curr, K);
+    }
+  }
+
+  /// Current version clock (the stamp the next snapshot would read at).
+  std::uint64_t version() const { return Registry.clock(); }
+
+  /// Number of currently open snapshot handles (exact at quiescence).
+  std::size_t live_snapshots() const { return Registry.liveSnapshots(); }
+
+  /// Allocation/retire/free accounting of the store's domain.
+  memory_stats stats() const { return Dom->stats(); }
+
+  /// Length of \p K's version chain (0 when absent). Test/introspection
+  /// hook; O(chain), racy under concurrent writes.
+  std::size_t version_count(thread_id Tid, key_type K) {
+    auto G = Dom->enter(Tid);
+    Position Pos = find(G, bucket(K), K);
+    if (!Pos.Found)
+      return 0;
+    std::size_t N = 0;
+    unsigned A = VSlotA, B = VSlotB;
+    std::uintptr_t Raw = G.protect_link(kr(Pos.Curr).VHead, A) & ~Tag;
+    while (VNode *VN = toV(Raw)) {
+      ++N;
+      Raw = G.protect_link(vr(VN).Older, B);
+      std::swap(A, B);
+    }
+    return N;
+  }
+
+  /// The snapshot registry (scheme-independent clock + slots).
+  SnapshotRegistry &registry() { return Registry; }
+
+  /// The reclamation domain backing the store.
+  lfsmr::domain<Scheme> &domain() { return *Dom; }
+
+  /// The underlying scheme instance (for counters and tests).
+  Scheme &smr() { return Dom->scheme(); }
+  /// \copydoc smr
+  const Scheme &smr() const { return Dom->scheme(); }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Node layout — transparent records, or intrusive envelopes for HP
+  //===------------------------------------------------------------------===//
+
+  /// Low bit of `VHead` marks a logically removed key; low bit of a key
+  /// node's `Next` marks it for bucket unlink (Michael's protocol).
+  static constexpr std::uintptr_t Tag = 1;
+
+  /// Protection slots for version-chain walks (bucket `find` owns 0–2).
+  static constexpr unsigned VSlotA = 3, VSlotB = 4;
+
+  /// Slot holding the writer's own freshly appended version through the
+  /// publish-then-stamp window.
+  static constexpr unsigned VSlotSelf = 5;
+
+  /// One version: stamp (Pending until resolved), payload, and the link
+  /// to the next older version. Immutable once stamped, except `Older`,
+  /// which trimmers `exchange` to take ownership of the suffix.
+  struct VersionRec {
+    std::atomic<std::uint64_t> Stamp{SnapshotRegistry::Pending};
+    std::uint64_t Val;
+    bool Tombstone;
+    std::atomic<std::uintptr_t> Older;
+
+    VersionRec(std::uint64_t V, bool Tomb, std::uintptr_t Old)
+        : Val(V), Tombstone(Tomb), Older(Old) {}
+  };
+
+  /// One key: the bucket-chain link and the version-chain head.
+  struct KeyRec {
+    std::uint64_t Key;
+    std::atomic<std::uintptr_t> VHead;
+    std::atomic<std::uintptr_t> Next{0};
+
+    KeyRec(std::uint64_t K, std::uintptr_t Head) : Key(K), VHead(Head) {}
+  };
+
+  enum class NodeKind : std::uint8_t { Version, Key };
+
+  /// Intrusive-mode common prefix: scheme header first (every scheme's
+  /// deleter recovers the node from the header address), then the kind
+  /// tag the shared deleter dispatches on.
+  struct IPrefix {
+    typename Scheme::NodeHeader Hdr;
+    NodeKind Kind;
+  };
+
+  struct IVersionNode {
+    IPrefix P;
+    VersionRec R;
+    IVersionNode(std::uint64_t V, bool Tomb, std::uintptr_t Old)
+        : P{{}, NodeKind::Version}, R(V, Tomb, Old) {}
+  };
+
+  struct IKeyNode {
+    IPrefix P;
+    KeyRec R;
+    IKeyNode(std::uint64_t K, std::uintptr_t Head)
+        : P{{}, NodeKind::Key}, R(K, Head) {}
+  };
+
+  using VNode = std::conditional_t<IntrusiveMode, IVersionNode, VersionRec>;
+  using KNode = std::conditional_t<IntrusiveMode, IKeyNode, KeyRec>;
+
+  static VersionRec &vr(VNode *N) {
+    if constexpr (IntrusiveMode)
+      return N->R;
+    else
+      return *N;
+  }
+  static KeyRec &kr(KNode *N) {
+    if constexpr (IntrusiveMode)
+      return N->R;
+    else
+      return *N;
+  }
+
+  static VNode *toV(std::uintptr_t Raw) {
+    return reinterpret_cast<VNode *>(Raw & ~Tag);
+  }
+  static KNode *toK(std::uintptr_t Raw) {
+    return reinterpret_cast<KNode *>(Raw & ~Tag);
+  }
+  static std::uintptr_t rawV(VNode *N) {
+    return reinterpret_cast<std::uintptr_t>(N);
+  }
+  static std::uintptr_t rawK(KNode *N) {
+    return reinterpret_cast<std::uintptr_t>(N);
+  }
+
+  /// Intrusive-mode deleter shared by both node types.
+  static void deleteNode(void *Hdr, void * /*Ctx*/) {
+    auto *Pre = reinterpret_cast<IPrefix *>(Hdr);
+    if (Pre->Kind == NodeKind::Version)
+      delete reinterpret_cast<IVersionNode *>(Hdr);
+    else
+      delete reinterpret_cast<IKeyNode *>(Hdr);
+  }
+
+  VNode *makeVersion(guard_type &G, std::uint64_t V, bool Tomb,
+                     std::uintptr_t Old) {
+    if constexpr (IntrusiveMode) {
+      static_assert(offsetof(IVersionNode, P) == 0 &&
+                        offsetof(IKeyNode, P) == 0,
+                    "scheme header must sit at the start of the node");
+      auto *N = new IVersionNode(V, Tomb, Old);
+      G.init(&N->P.Hdr);
+      return N;
+    } else {
+      return G.template create<VersionRec>(V, Tomb, Old);
+    }
+  }
+
+  KNode *makeKey(guard_type &G, std::uint64_t K, std::uintptr_t Head) {
+    if constexpr (IntrusiveMode) {
+      auto *N = new IKeyNode(K, Head);
+      G.init(&N->P.Hdr);
+      return N;
+    } else {
+      return G.template create<KeyRec>(K, Head);
+    }
+  }
+
+  void retireVersion(guard_type &G, VNode *N) {
+    if constexpr (IntrusiveMode)
+      G.retire(&N->P.Hdr);
+    else
+      G.retire(N);
+  }
+  void retireKey(guard_type &G, KNode *N) {
+    if constexpr (IntrusiveMode)
+      G.retire(&N->P.Hdr);
+    else
+      G.retire(N);
+  }
+  void discardVersion(guard_type &G, VNode *N) {
+    if constexpr (IntrusiveMode)
+      G.discard(&N->P.Hdr);
+    else
+      G.discard(N);
+  }
+  void discardKey(guard_type &G, KNode *N) {
+    if constexpr (IntrusiveMode)
+      G.discard(&N->P.Hdr);
+    else
+      G.discard(N);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Sharding
+  //===------------------------------------------------------------------===//
+
+  struct alignas(CacheLineSize) ShardState {
+    std::unique_ptr<std::atomic<std::uintptr_t>[]> Buckets;
+  };
+
+  static Options normalize(Options O) {
+    O.Shards = nextPowerOfTwo(O.Shards ? O.Shards : 1);
+    O.BucketsPerShard = nextPowerOfTwo(O.BucketsPerShard ? O.BucketsPerShard : 1);
+    O.MinSnapshotSlots = nextPowerOfTwo(O.MinSnapshotSlots ? O.MinSnapshotSlots : 1);
+    if (O.Reclaim.NumHazards < 8)
+      O.Reclaim.NumHazards = 8;
+    return O;
+  }
+
+  std::atomic<std::uintptr_t> &bucket(key_type K) {
+    // Fibonacci hashing; shard from the top bits, bucket from the middle.
+    const std::uint64_t H = K * 0x9e3779b97f4a7c15ULL;
+    const std::size_t S = ShardBits ? (H >> (64 - ShardBits)) : 0;
+    return Shards[S].Buckets[(H >> 20) & BucketMask];
+  }
+
+  //===------------------------------------------------------------------===//
+  // Bucket chains (Michael's sorted list over key nodes)
+  //===------------------------------------------------------------------===//
+
+  /// A located key: the link that pointed at `Curr` and the first key
+  /// node with `Key >= K` (null at the tail).
+  struct Position {
+    std::atomic<std::uintptr_t> *PrevLink;
+    KNode *Curr;
+    std::uintptr_t NextRaw;
+    bool Found;
+  };
+
+  /// Michael's find over key nodes (mirrors `ds::ListOps::find`):
+  /// physically unlinks marked key nodes and retires them together with
+  /// their (frozen) version chain. Rotates protection slots 0–2.
+  Position find(guard_type &G, std::atomic<std::uintptr_t> &Head,
+                key_type K) {
+  Retry:
+    std::atomic<std::uintptr_t> *PrevLink = &Head;
+    unsigned CurrIdx = 0, NextIdx = 1, SpareIdx = 2;
+    std::uintptr_t CurrRaw = G.protect_link(*PrevLink, CurrIdx);
+    for (;;) {
+      KNode *Curr = toK(CurrRaw);
+      if (!Curr)
+        return Position{PrevLink, nullptr, 0, false};
+      const std::uintptr_t NextRaw = G.protect_link(kr(Curr).Next, NextIdx);
+      if (PrevLink->load(std::memory_order_acquire) != (CurrRaw & ~Tag))
+        goto Retry;
+      if (NextRaw & Tag) {
+        // Logically removed key: unlink; the CAS winner retires it.
+        std::uintptr_t Expected = CurrRaw & ~Tag;
+        if (!PrevLink->compare_exchange_strong(Expected, NextRaw & ~Tag,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire))
+          goto Retry;
+        retireRemovedKey(G, Curr);
+        CurrRaw = NextRaw & ~Tag;
+        std::swap(CurrIdx, NextIdx);
+        continue;
+      }
+      if (kr(Curr).Key >= K)
+        return Position{PrevLink, Curr, NextRaw, kr(Curr).Key == K};
+      PrevLink = &kr(Curr).Next;
+      CurrRaw = NextRaw;
+      const unsigned Old = SpareIdx;
+      SpareIdx = CurrIdx;
+      CurrIdx = NextIdx;
+      NextIdx = Old;
+    }
+  }
+
+  /// Retires an unlinked key node and its version chain. Only the single
+  /// unlink-CAS winner gets here, so the head version (the settled
+  /// tombstone) is retired exactly once; the suffix links are *taken*
+  /// with exchange because a trimmer that was mid-walk when the key died
+  /// may still be detaching them concurrently.
+  void retireRemovedKey(guard_type &G, KNode *KN) {
+    const std::uintptr_t V =
+        kr(KN).VHead.load(std::memory_order_acquire) & ~Tag;
+    if (VNode *HeadV = toV(V)) {
+      std::uintptr_t Taken =
+          vr(HeadV).Older.exchange(0, std::memory_order_seq_cst);
+      while (VNode *X = toV(Taken)) {
+        Taken = vr(X).Older.exchange(0, std::memory_order_seq_cst);
+        retireVersion(G, X);
+      }
+      retireVersion(G, HeadV);
+    }
+    retireKey(G, KN);
+  }
+
+  /// Keeps \p N (the version this writer is about to publish)
+  /// dereferenceable through the publish-then-stamp window: once the CAS
+  /// makes it reachable, a racing writer can append above it, trim, and
+  /// retire it before its creator resolves the stamp — under HP that
+  /// means freed. Reading the address through `protect_link` from a
+  /// stack-local source installs it in a hazard slot (HP) or extends the
+  /// guard's era reservation over its birth era (HE/IBR/Hyaline-S), so
+  /// the node outlives the resolve no matter who trims it.
+  void protectSelf(guard_type &G, VNode *N) {
+    std::atomic<std::uintptr_t> Self{rawV(N)};
+    (void)G.protect_link(Self, VSlotSelf);
+  }
+
+  /// Freezes a dead key's bucket link (sets the mark bit) and lets a
+  /// find pass unlink and retire it. Idempotent; called by the thread
+  /// that dead-marked VHead and by any writer that runs into the dead
+  /// bit before the unlink happened.
+  void helpRemoveKey(guard_type &G, std::atomic<std::uintptr_t> &Head,
+                     KNode *KN, key_type K) {
+    std::uintptr_t S = kr(KN).Next.load(std::memory_order_acquire);
+    while (!(S & Tag) &&
+           !kr(KN).Next.compare_exchange_weak(S, S | Tag,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+    }
+    find(G, Head, K); // helping unlink + retire
+  }
+
+  //===------------------------------------------------------------------===//
+  // Version chains
+  //===------------------------------------------------------------------===//
+
+  /// Shared write path of put (Tomb=false) and erase (Tomb=true).
+  /// Returns true when the key had no live binding before this write.
+  bool write(guard_type &G, key_type K, value_type V, bool Tomb) {
+    std::atomic<std::uintptr_t> &Head = bucket(K);
+    VNode *FreshV = nullptr;
+    KNode *FreshK = nullptr;
+    bool Result = false;
+    for (;;) {
+      Position Pos = find(G, Head, K);
+      if (!Pos.Found) {
+        if (Tomb)
+          break; // erase of an absent key: no tombstone needed
+        if (!FreshV)
+          FreshV = makeVersion(G, V, false, 0);
+        else
+          vr(FreshV).Older.store(0, std::memory_order_relaxed);
+        if (!FreshK)
+          FreshK = makeKey(G, K, rawV(FreshV));
+        else
+          kr(FreshK).VHead.store(rawV(FreshV), std::memory_order_relaxed);
+        kr(FreshK).Next.store(rawK(Pos.Curr), std::memory_order_relaxed);
+        std::uintptr_t Expected = rawK(Pos.Curr);
+        protectSelf(G, FreshV);
+        if (Pos.PrevLink->compare_exchange_strong(
+                Expected, rawK(FreshK), std::memory_order_seq_cst,
+                std::memory_order_acquire)) {
+          // Publish-then-stamp: the version entered the structure above;
+          // only now does it draw its clock value (helped by any racing
+          // reader via resolve).
+          Registry.resolve(vr(FreshV).Stamp);
+          FreshV = nullptr;
+          FreshK = nullptr;
+          Result = true;
+          break;
+        }
+        continue;
+      }
+      KNode *KN = Pos.Curr;
+      const std::uintptr_t H = G.protect_link(kr(KN).VHead, VSlotA);
+      if (H & Tag) {
+        // Key is logically removed but not yet unlinked: help, then
+        // retry (a put re-inserts a fresh key node; an erase finds
+        // nothing).
+        helpRemoveKey(G, Head, KN, K);
+        continue;
+      }
+      VNode *HeadV = toV(H);
+      const bool WasLive = HeadV && !vr(HeadV).Tombstone;
+      if (Tomb && !WasLive)
+        break; // erasing an already-tombstoned key changes nothing
+      if (!FreshV)
+        FreshV = makeVersion(G, V, Tomb, H);
+      else
+        vr(FreshV).Older.store(H, std::memory_order_relaxed);
+      std::uintptr_t Expected = H;
+      protectSelf(G, FreshV);
+      if (kr(KN).VHead.compare_exchange_strong(Expected, rawV(FreshV),
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_seq_cst)) {
+        Registry.resolve(vr(FreshV).Stamp);
+        FreshV = nullptr;
+        trimChain(G, KN, K);
+        // put reports "key was absent", erase reports "key was present".
+        Result = Tomb ? WasLive : !WasLive;
+        break;
+      }
+      // Lost the append race; re-find and retry.
+    }
+    if (FreshV)
+      discardVersion(G, FreshV);
+    if (FreshK)
+      discardKey(G, FreshK);
+    return Result;
+  }
+
+  /// Trims \p KN's version-chain suffix past the oldest live snapshot:
+  /// walks from the head to the *boundary* (the newest version whose
+  /// stamp is at or below the trim floor — exactly the version the
+  /// oldest snapshot reads), detaches everything older with an
+  /// ownership-transferring exchange walk, and retires it. Concurrent
+  /// trimmers are safe: each link is exchanged (taken) at most once with
+  /// a non-null result, so every node is retired exactly once. Finally,
+  /// a chain reduced to a settled tombstone nobody can see dead-marks
+  /// the key and unlinks it from its bucket.
+  void trimChain(guard_type &G, KNode *KN, key_type K) {
+    const std::uintptr_t H = G.protect_link(kr(KN).VHead, VSlotA);
+    if (H & Tag)
+      return;
+    VNode *Cur = toV(H);
+    if (!Cur)
+      return;
+    unsigned A = VSlotA, B = VSlotB;
+    std::uint64_t CurStamp = Registry.resolve(vr(Cur).Stamp);
+    std::uint64_t Floor = Registry.minLive();
+    for (;;) {
+      while (CurStamp > Floor) {
+        const std::uintptr_t Nxt = G.protect_link(vr(Cur).Older, B);
+        VNode *N = toV(Nxt);
+        if (!N)
+          return; // no version at or below the floor: nothing to trim
+        Cur = N;
+        std::swap(A, B);
+        CurStamp = Registry.resolve(vr(Cur).Stamp);
+      }
+      // Confirm the boundary against a floor scanned *after* its stamp
+      // settled. Resolving stamps mid-walk ticks the clock, and a
+      // snapshot may validate between the previous scan and that tick at
+      // a stamp below the boundary's; a scan ordered after the settle is
+      // guaranteed to include any such snapshot (its validation load
+      // precedes the boundary's stamping tick in the clock's total
+      // order, so its slot publish is visible to this scan). Boundary
+      // stamps settled before a scan therefore prove no snapshot below
+      // them can exist or appear.
+      const std::uint64_t Fresh = Registry.minLive();
+      if (CurStamp <= Fresh)
+        break; // confirmed: nothing below Cur is visible to anyone
+      Floor = Fresh; // an older snapshot surfaced: descend further
+    }
+    std::uintptr_t Taken = vr(Cur).Older.exchange(0, std::memory_order_seq_cst);
+    while (VNode *X = toV(Taken)) {
+      Taken = vr(X).Older.exchange(0, std::memory_order_seq_cst);
+      retireVersion(G, X);
+    }
+    // Key removal: only when the chain head itself is the boundary, it
+    // is a tombstone with a settled stamp no live (or future) snapshot
+    // can miss, and it now has no older versions.
+    if (rawV(Cur) != (H & ~Tag) || !vr(Cur).Tombstone)
+      return;
+    std::uintptr_t Expected = H;
+    if (kr(KN).VHead.compare_exchange_strong(Expected, H | Tag,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_seq_cst))
+      helpRemoveKey(G, bucket(K), KN, K);
+  }
+
+  /// The snapshot read: newest version of \p KN with stamp <= \p At.
+  /// Pending stamps are resolved (helped) before the comparison, which
+  /// is what pins every version's visibility the first time any reader
+  /// meets it.
+  std::optional<value_type> readAt(guard_type &G, KNode *KN,
+                                   std::uint64_t At) {
+    const std::uintptr_t H = G.protect_link(kr(KN).VHead, VSlotA);
+    if (H & Tag)
+      return std::nullopt; // removed: every live snapshot saw the tombstone
+    VNode *Cur = toV(H);
+    unsigned A = VSlotA, B = VSlotB;
+    while (Cur) {
+      if (Registry.resolve(vr(Cur).Stamp) <= At) {
+        if (vr(Cur).Tombstone)
+          return std::nullopt;
+        return vr(Cur).Val;
+      }
+      const std::uintptr_t Nxt = G.protect_link(vr(Cur).Older, B);
+      Cur = toV(Nxt);
+      std::swap(A, B);
+    }
+    return std::nullopt; // key did not exist yet at the snapshot
+  }
+
+  /// Read-only sweep over every live key node, one guard per bucket.
+  /// Marked (dead) keys are skipped — they are invisible to any live
+  /// snapshot by construction.
+  template <typename F> void forEachKeyNode(thread_id Tid, F &&Fn) {
+    for (std::size_t S = 0; S < Opt.Shards; ++S)
+      for (std::size_t B = 0; B < Opt.BucketsPerShard; ++B) {
+        auto G = Dom->enter(Tid);
+        unsigned CurrIdx = 0, NextIdx = 1, SpareIdx = 2;
+        std::uintptr_t CurRaw =
+            G.protect_link(Shards[S].Buckets[B], CurrIdx);
+        while (KNode *KN = toK(CurRaw)) {
+          const std::uintptr_t NextRaw =
+              G.protect_link(kr(KN).Next, NextIdx);
+          if (!(NextRaw & Tag))
+            Fn(G, KN);
+          CurRaw = NextRaw & ~Tag;
+          const unsigned Old = SpareIdx;
+          SpareIdx = CurrIdx;
+          CurrIdx = NextIdx;
+          NextIdx = Old;
+        }
+      }
+  }
+
+  Options Opt;
+  SnapshotRegistry Registry;
+  const unsigned ShardBits;
+  const std::size_t BucketMask;
+  std::optional<lfsmr::domain<Scheme>> Dom;
+  std::unique_ptr<ShardState[]> Shards;
+};
+
+} // namespace lfsmr::kv
+
+#endif // LFSMR_KV_STORE_H

@@ -1,0 +1,392 @@
+//===- tests/test_kv.cpp - Versioned KV store tests -----------------------===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage for `lfsmr::kv`: the snapshot registry's clock/slot protocol,
+/// sequential store semantics (snapshot isolation of reads, version-trim
+/// and key-removal correctness, accounting), and CI-sized concurrent
+/// checks (snapshot repeatability under churn, disjoint-writer
+/// accounting) typed over all nine schemes — including HP through the
+/// store's intrusive node mode. Heavier soak lives in test_stress.cpp;
+/// the stalled-guard memory bound in test_robustness.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lfsmr/kv.h"
+#include "scheme_fixtures.h"
+#include "support/random.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <vector>
+
+using namespace lfsmr;
+using namespace lfsmr::testing;
+
+namespace {
+
+[[maybe_unused]] const uint64_t LoggedSeed = testSeed();
+
+/// Small batches and frequent sweeps so reclamation runs inside tests.
+kv::Options kvTestOptions(unsigned MaxThreads = 8) {
+  kv::Options O;
+  O.Reclaim.MaxThreads = MaxThreads;
+  O.Reclaim.Slots = 4;
+  O.Reclaim.MinBatch = 8;
+  O.Reclaim.EpochFreq = 4;
+  O.Reclaim.EmptyFreq = 16;
+  O.Reclaim.EraFreq = 4;
+  O.Shards = 4;
+  O.BucketsPerShard = 64;
+  O.MinSnapshotSlots = 2;
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// SnapshotRegistry (scheme-independent)
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotRegistry, ClockTicksMonotonically) {
+  kv::SnapshotRegistry R(2);
+  const uint64_t C0 = R.clock();
+  EXPECT_EQ(R.tick(), C0 + 1);
+  EXPECT_EQ(R.tick(), C0 + 2);
+  EXPECT_EQ(R.clock(), C0 + 2);
+}
+
+TEST(SnapshotRegistry, ResolveSettlesOnceAndHelpsIdempotently) {
+  kv::SnapshotRegistry R(2);
+  std::atomic<uint64_t> Stamp{kv::SnapshotRegistry::Pending};
+  const uint64_t V = R.resolve(Stamp);
+  EXPECT_NE(V, kv::SnapshotRegistry::Pending);
+  EXPECT_EQ(R.resolve(Stamp), V) << "second resolve must not re-stamp";
+  EXPECT_EQ(Stamp.load(), V);
+}
+
+TEST(SnapshotRegistry, AcquireValidatesAtTheCurrentClock) {
+  kv::SnapshotRegistry R(2);
+  const auto T = R.acquire();
+  EXPECT_EQ(T.Stamp, R.clock());
+  EXPECT_EQ(R.minLive(), T.Stamp);
+  R.release(T);
+  EXPECT_EQ(R.minLive(), kv::SnapshotRegistry::Pending);
+}
+
+TEST(SnapshotRegistry, SameClockValueSharesOneSlot) {
+  kv::SnapshotRegistry R(2);
+  const auto A = R.acquire();
+  const auto B = R.acquire(); // no tick in between: same stamp
+  EXPECT_EQ(A.Stamp, B.Stamp);
+  EXPECT_EQ(A.Slot, B.Slot) << "equal stamps must share a refcounted slot";
+  EXPECT_EQ(R.liveSnapshots(), 2u);
+  R.release(A);
+  EXPECT_EQ(R.minLive(), B.Stamp) << "one reference must keep the slot live";
+  R.release(B);
+  EXPECT_EQ(R.minLive(), kv::SnapshotRegistry::Pending);
+}
+
+TEST(SnapshotRegistry, SlotDirectoryGrowsWhenAllSlotsBusy) {
+  kv::SnapshotRegistry R(2);
+  std::vector<kv::SnapshotRegistry::Ticket> Ts;
+  for (int I = 0; I < 64; ++I) {
+    Ts.push_back(R.acquire());
+    R.tick(); // force a distinct stamp per snapshot: no slot sharing
+  }
+  EXPECT_GE(R.slotCapacity(), 64u);
+  EXPECT_EQ(R.liveSnapshots(), 64u);
+  // The oldest ticket's stamp bounds the trim floor.
+  uint64_t Min = kv::SnapshotRegistry::Pending;
+  for (const auto &T : Ts)
+    Min = std::min(Min, T.Stamp);
+  EXPECT_EQ(R.minLive(), Min);
+  for (const auto &T : Ts)
+    R.release(T);
+  EXPECT_EQ(R.minLive(), kv::SnapshotRegistry::Pending);
+  EXPECT_EQ(R.liveSnapshots(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Store semantics, typed over all nine schemes
+//===----------------------------------------------------------------------===//
+
+template <typename S> class KvStore : public ::testing::Test {};
+TYPED_TEST_SUITE(KvStore, AllSchemes, SchemeNames);
+
+TYPED_TEST(KvStore, SequentialSemantics) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  EXPECT_FALSE(Db.get(0, 10).has_value());
+  EXPECT_TRUE(Db.put(0, 10, 100)) << "put on absent key reports insert";
+  EXPECT_FALSE(Db.put(0, 10, 101)) << "put on present key reports replace";
+  ASSERT_TRUE(Db.get(0, 10).has_value());
+  EXPECT_EQ(*Db.get(0, 10), 101u);
+  EXPECT_FALSE(Db.erase(0, 11)) << "erase of an absent key fails";
+  EXPECT_TRUE(Db.erase(0, 10));
+  EXPECT_FALSE(Db.erase(0, 10)) << "double erase fails";
+  EXPECT_FALSE(Db.get(0, 10).has_value());
+  EXPECT_TRUE(Db.put(0, 10, 102)) << "put over a tombstone reports insert";
+  EXPECT_EQ(*Db.get(0, 10), 102u);
+}
+
+TYPED_TEST(KvStore, SnapshotIsolationAcrossWrites) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  Db.put(0, 1, 10);
+  Db.put(0, 2, 20);
+  kv::snapshot S1 = Db.open_snapshot();
+  Db.put(0, 1, 11);
+  Db.erase(0, 2);
+  Db.put(0, 3, 30);
+  kv::snapshot S2 = Db.open_snapshot();
+  Db.put(0, 1, 12);
+
+  // Latest view.
+  EXPECT_EQ(*Db.get(0, 1), 12u);
+  EXPECT_FALSE(Db.get(0, 2).has_value());
+  EXPECT_EQ(*Db.get(0, 3), 30u);
+
+  // S1: before any of the second wave.
+  EXPECT_EQ(*Db.get(0, 1, S1), 10u);
+  EXPECT_EQ(*Db.get(0, 2, S1), 20u) << "erase must stay invisible to S1";
+  EXPECT_FALSE(Db.get(0, 3, S1).has_value()) << "key born after S1";
+
+  // S2: between the waves.
+  EXPECT_EQ(*Db.get(0, 1, S2), 11u);
+  EXPECT_FALSE(Db.get(0, 2, S2).has_value()) << "S2 sees the tombstone";
+  EXPECT_EQ(*Db.get(0, 3, S2), 30u);
+
+  // Repeatability within a snapshot.
+  EXPECT_EQ(Db.get(0, 1, S1), Db.get(0, 1, S1));
+  EXPECT_GT(S2.version(), S1.version());
+}
+
+TYPED_TEST(KvStore, VersionChainsTrimToOneWithoutSnapshots) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  for (uint64_t I = 0; I < 100; ++I)
+    Db.put(0, 7, I);
+  EXPECT_EQ(Db.version_count(0, 7), 1u)
+      << "with no live snapshot every write must trim to the head";
+  EXPECT_EQ(*Db.get(0, 7), 99u);
+  const memory_stats MS = Db.stats();
+  // 100 versions + 1 key node allocated; all but head + key retired.
+  EXPECT_EQ(MS.allocated, 101);
+  EXPECT_EQ(MS.retired, 99);
+}
+
+TYPED_TEST(KvStore, LiveSnapshotPinsVersionsUntilRelease) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  Db.put(0, 5, 1);
+  kv::snapshot Snap = Db.open_snapshot();
+  for (uint64_t I = 2; I <= 10; ++I)
+    Db.put(0, 5, I);
+  // The snapshot pins its visible version (value 1); everything newer is
+  // retained as well (suffix-only trimming), so the chain holds all ten.
+  EXPECT_GE(Db.version_count(0, 5), 2u);
+  EXPECT_EQ(*Db.get(0, 5, Snap), 1u);
+  EXPECT_EQ(*Db.get(0, 5), 10u);
+  Snap.reset();
+  Db.put(0, 5, 11);
+  EXPECT_EQ(Db.version_count(0, 5), 1u)
+      << "releasing the snapshot re-enables trimming to the head";
+}
+
+TYPED_TEST(KvStore, EraseRemovesKeyNodeAndBalancesAccounting) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  for (uint64_t K = 0; K < 300; ++K)
+    ASSERT_TRUE(Db.put(0, K, K * 2));
+  for (uint64_t K = 0; K < 300; ++K) {
+    ASSERT_TRUE(Db.get(0, K).has_value());
+    EXPECT_EQ(*Db.get(0, K), K * 2);
+  }
+  for (uint64_t K = 0; K < 300; ++K)
+    ASSERT_TRUE(Db.erase(0, K));
+  for (uint64_t K = 0; K < 300; ++K)
+    EXPECT_FALSE(Db.get(0, K).has_value());
+  Db.compact(0);
+  const memory_stats MS = Db.stats();
+  EXPECT_EQ(MS.allocated, MS.retired)
+      << "an empty store must have retired every node it allocated "
+         "(tombstones, trimmed versions, and unlinked key nodes)";
+}
+
+TYPED_TEST(KvStore, CompactTrimsAfterSnapshotRelease) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  for (uint64_t K = 0; K < 20; ++K)
+    Db.put(0, K, 1);
+  kv::snapshot Snap = Db.open_snapshot();
+  for (uint64_t K = 0; K < 20; ++K) {
+    Db.put(0, K, 2);
+    Db.erase(0, K);
+  }
+  // Pinned: erased keys stay reachable through the snapshot.
+  for (uint64_t K = 0; K < 20; ++K)
+    EXPECT_EQ(*Db.get(0, K, Snap), 1u);
+  Snap.reset();
+  // No writer touches the keys again; compact alone must trim and unlink.
+  Db.compact(0);
+  const memory_stats MS = Db.stats();
+  EXPECT_EQ(MS.allocated, MS.retired);
+}
+
+TYPED_TEST(KvStore, ForEachSeesExactlyTheSnapshotCut) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  for (uint64_t K = 1; K <= 50; ++K)
+    Db.put(0, K, K * 10);
+  Db.erase(0, 3);
+  kv::snapshot Snap = Db.open_snapshot();
+  // Mutations after the snapshot must be invisible to the scan.
+  Db.erase(0, 1);
+  Db.put(0, 2, 999);
+  Db.put(0, 60, 600);
+
+  std::vector<std::pair<uint64_t, uint64_t>> Seen;
+  Db.for_each(0, Snap, [&](uint64_t K, uint64_t V) { Seen.emplace_back(K, V); });
+  std::sort(Seen.begin(), Seen.end());
+
+  ASSERT_EQ(Seen.size(), 49u) << "keys 1..50 minus the erased key 3";
+  std::size_t I = 0;
+  for (uint64_t K = 1; K <= 50; ++K) {
+    if (K == 3)
+      continue;
+    EXPECT_EQ(Seen[I].first, K);
+    EXPECT_EQ(Seen[I].second, K * 10) << "scan must see the snapshot value";
+    ++I;
+  }
+}
+
+TYPED_TEST(KvStore, ManySnapshotsForceSlotGrowthAndStayCoherent) {
+  kv::Store<TypeParam> Db(kvTestOptions());
+  std::vector<kv::snapshot> Snaps;
+  for (uint64_t I = 0; I < 20; ++I) {
+    Db.put(0, 42, I);
+    Snaps.push_back(Db.open_snapshot());
+  }
+  EXPECT_EQ(Db.live_snapshots(), 20u);
+  for (uint64_t I = 0; I < 20; ++I)
+    EXPECT_EQ(*Db.get(0, 42, Snaps[I]), I)
+        << "each snapshot must keep its own version of the key";
+  Snaps.clear();
+  EXPECT_EQ(Db.live_snapshots(), 0u);
+  Db.put(0, 42, 99);
+  EXPECT_EQ(Db.version_count(0, 42), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency (CI-sized; heavier soak in test_stress.cpp)
+//===----------------------------------------------------------------------===//
+
+TYPED_TEST(KvStore, ConcurrentSnapshotReadsAreRepeatable) {
+  constexpr unsigned Writers = 4, Readers = 3;
+  kv::Store<TypeParam> Db(kvTestOptions(Writers + Readers));
+  constexpr uint64_t KeyRange = 64;
+  for (uint64_t K = 1; K <= KeyRange; ++K)
+    Db.put(0, K, K * 1000);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<int> Bad{0};
+  std::vector<std::thread> Ts;
+  for (unsigned W = 0; W < Writers; ++W)
+    Ts.emplace_back([&, W] {
+      Xoshiro256 Rng(streamSeed(100 + W));
+      for (int I = 0; I < 8000; ++I) {
+        const uint64_t K = 1 + Rng.nextBounded(KeyRange);
+        if (Rng.nextPercent(25))
+          Db.erase(W, K);
+        else
+          Db.put(W, K, K * 1000 + Rng.nextBounded(1000));
+      }
+    });
+  for (unsigned R = 0; R < Readers; ++R)
+    Ts.emplace_back([&, R] {
+      const unsigned Tid = Writers + R;
+      Xoshiro256 Rng(streamSeed(200 + R));
+      while (!Stop.load(std::memory_order_relaxed)) {
+        kv::snapshot Snap = Db.open_snapshot();
+        for (int J = 0; J < 32; ++J) {
+          const uint64_t K = 1 + Rng.nextBounded(KeyRange);
+          const std::optional<uint64_t> A = Db.get(Tid, K, Snap);
+          const std::optional<uint64_t> B = Db.get(Tid, K, Snap);
+          if (A != B)
+            ++Bad; // snapshot read must be repeatable
+          if (A && *A / 1000 != K)
+            ++Bad; // value integrity: stamped with its key
+          const std::optional<uint64_t> L = Db.get(Tid, K);
+          if (L && *L / 1000 != K)
+            ++Bad;
+        }
+      }
+    });
+  for (unsigned W = 0; W < Writers; ++W)
+    Ts[W].join();
+  Stop.store(true);
+  for (unsigned R = 0; R < Readers; ++R)
+    Ts[Writers + R].join();
+  EXPECT_EQ(Bad.load(), 0);
+  const memory_stats MS = Db.stats();
+  EXPECT_GE(MS.allocated, MS.retired);
+  EXPECT_GE(MS.retired, MS.freed);
+}
+
+TYPED_TEST(KvStore, ConcurrentDisjointWritersBalance) {
+  constexpr unsigned Threads = 6;
+  constexpr uint64_t PerThread = 400;
+  kv::Store<TypeParam> Db(kvTestOptions(Threads));
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      const uint64_t Base = uint64_t{T} * PerThread * 2 + 1;
+      for (uint64_t I = 0; I < PerThread; ++I)
+        if (!Db.put(T, Base + I, I))
+          ++Failures;
+      for (uint64_t I = 0; I < PerThread; ++I) {
+        const std::optional<uint64_t> V = Db.get(T, Base + I);
+        if (!V || *V != I)
+          ++Failures;
+      }
+      for (uint64_t I = 0; I < PerThread; ++I)
+        if (!Db.erase(T, Base + I))
+          ++Failures;
+      for (uint64_t I = 0; I < PerThread; ++I)
+        if (Db.get(T, Base + I))
+          ++Failures;
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+  Db.compact(0);
+  const memory_stats MS = Db.stats();
+  EXPECT_EQ(MS.allocated, MS.retired);
+}
+
+TYPED_TEST(KvStore, ConcurrentSnapshotOpenersShareAndGrowSlots) {
+  constexpr unsigned Threads = 8;
+  kv::Store<TypeParam> Db(kvTestOptions(Threads));
+  Db.put(0, 1, 1);
+  std::vector<std::thread> Ts;
+  std::atomic<int> Bad{0};
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < 500; ++I) {
+        kv::snapshot Snap = Db.open_snapshot();
+        if (Snap.version() == 0)
+          ++Bad;
+        const std::optional<uint64_t> V = Db.get(T, 1, Snap);
+        if (V != Db.get(T, 1, Snap))
+          ++Bad;
+        if ((I & 15) == 0)
+          Db.put(T, 1, I); // advance the clock so stamps differ
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Bad.load(), 0);
+  EXPECT_EQ(Db.live_snapshots(), 0u);
+}
+
+} // namespace

@@ -17,6 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "lfsmr/kv.h"
 #include "scheme_fixtures.h"
 #include "support/random.h"
 
@@ -113,6 +114,37 @@ TYPED_TEST(Robust, FullReclamationAfterResume) {
   EXPECT_EQ(Freed.load(), Allocated);
 }
 
+/// Version churn on the KV store with a guard stalled mid-operation:
+/// every put retires the displaced version (write-side trim), so the
+/// store pushes garbage at write rate while one thread squats inside the
+/// reclamation scheme. Returns the unreclaimed count under the stall.
+template <typename S> int64_t kvStallScenario(int64_t *AllocatedOut) {
+  kv::Options O;
+  O.Reclaim = robustnessConfig();
+  O.Shards = 1;
+  O.BucketsPerShard = 16;
+  int64_t Unreclaimed = 0;
+  {
+    kv::Store<S> Db(O);
+    Db.put(1, 1, 0);
+    {
+      auto Stalled = Db.domain().enter(0); // stalls inside the scheme
+      for (int I = 0; I < ChurnOps; ++I)
+        Db.put(1, 1, static_cast<uint64_t>(I));
+      Unreclaimed = Db.stats().unreclaimed;
+    } // the stalled guard resumes and leaves
+    if (AllocatedOut)
+      *AllocatedOut = Db.stats().allocated;
+  }
+  return Unreclaimed;
+}
+
+TYPED_TEST(Robust, KvVersionChurnBoundedUnderStalledGuard) {
+  const int64_t Unreclaimed = kvStallScenario<TypeParam>(nullptr);
+  EXPECT_LT(Unreclaimed, ChurnOps / 10)
+      << "robust scheme must bound kv version garbage under a stall";
+}
+
 using NonRobustSchemes =
     ::testing::Types<smr::EBR, core::Hyaline, core::Hyaline1>;
 
@@ -134,6 +166,14 @@ TYPED_TEST(NonRobust, FullReclamationAfterResume) {
   int64_t Allocated = 0;
   { stallScenario<TypeParam>(robustnessConfig(), Freed, &Allocated); }
   EXPECT_EQ(Freed.load(), Allocated);
+}
+
+TYPED_TEST(NonRobust, KvVersionChurnGrowsUnderStalledGuard) {
+  // Documents Table 1 at the store level: a stalled guard pins the
+  // version garbage a non-robust scheme's writers keep retiring.
+  const int64_t Unreclaimed = kvStallScenario<TypeParam>(nullptr);
+  EXPECT_GT(Unreclaimed, ChurnOps / 2)
+      << "non-robust scheme expected to accumulate kv version garbage";
 }
 
 } // namespace

@@ -65,6 +65,95 @@ TEST(SlotDirectory, AddressingCoversEveryArrayBoundary) {
     EXPECT_EQ(D.slot(I), 1000 + I) << "slot " << I;
 }
 
+TEST(SlotDirectory, ExactArrayBoundaryIndices) {
+  // The addressing formula maps slot i to array s = log2(i / KMin) + 1
+  // spanning [KMin * 2^(s-1), KMin * 2^s). Hit both edges of every array
+  // exactly: the first index (KMin * 2^(s-1)) and the last
+  // (KMin * 2^s - 1) must be distinct, writable storage, and the
+  // neighbours across a boundary must land in different arrays without
+  // aliasing.
+  constexpr std::size_t KMin = 8;
+  SlotDirectory<uint64_t> D(KMin);
+  while (D.capacity() < KMin << 6)
+    D.grow(D.capacity());
+  const std::size_t K = D.capacity();
+  ASSERT_EQ(K, KMin << 6);
+
+  // Stamp both edges of every array, then verify everything at the end:
+  // the writes must never alias (note each array's First - 1 is the
+  // previous array's Last, so distinct patterns per index are required).
+  const auto FirstPattern = [](unsigned S) { return 0xF00D0000ull + S; };
+  const auto LastPattern = [](unsigned S) { return 0xBEEF0000ull + S; };
+  for (unsigned S = 1; (KMin << S) <= K; ++S) {
+    const std::size_t First = KMin << (S - 1); // KMin * 2^(s-1)
+    const std::size_t Last = (KMin << S) - 1;  // KMin * 2^s - 1
+    EXPECT_NE(&D.slot(First), &D.slot(Last));
+    // The index one below the array's first slot belongs to the previous
+    // array; it must be distinct storage from the boundary slot.
+    EXPECT_NE(&D.slot(First - 1), &D.slot(First));
+    D.slot(First) = FirstPattern(S);
+    D.slot(Last) = LastPattern(S);
+  }
+  for (unsigned S = 1; (KMin << S) <= K; ++S) {
+    EXPECT_EQ(D.slot(KMin << (S - 1)), FirstPattern(S)) << "array " << S;
+    EXPECT_EQ(D.slot((KMin << S) - 1), LastPattern(S)) << "array " << S;
+  }
+  // Const access resolves to the same storage.
+  const SlotDirectory<uint64_t> &CD = D;
+  EXPECT_EQ(&CD.slot(KMin), &D.slot(KMin));
+}
+
+TEST(SlotDirectory, ConcurrentGrowWhileReadingBoundarySlots) {
+  // Readers hammer the slots right at the array boundaries of every
+  // capacity they observe while growers keep doubling: under ASan/TSan
+  // this catches any window where a boundary index resolves before its
+  // array is published.
+  SlotDirectory<std::atomic<uint64_t>> D(4);
+  constexpr unsigned Readers = 6;
+  constexpr std::size_t MaxK = 4096;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Growers;
+  for (unsigned G = 0; G < 2; ++G)
+    Growers.emplace_back([&] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        const std::size_t K = D.capacity();
+        if (K < MaxK)
+          D.grow(K);
+        std::this_thread::yield();
+      }
+    });
+  std::vector<std::thread> Ts;
+  std::atomic<uint64_t> Sum{0};
+  for (unsigned T = 0; T < Readers; ++T)
+    Ts.emplace_back([&, T] {
+      lfsmr::Xoshiro256 Rng(lfsmr::streamSeed(40 + T));
+      uint64_t Local = 0;
+      for (int I = 0; I < 4000; ++I) {
+        // Capacity only grows, so every boundary of the observed K is
+        // valid storage for the rest of the run.
+        const std::size_t K = D.capacity();
+        const std::size_t Boundary = K / 2;            // first of top array
+        const std::size_t LastIdx = K - 1;             // last of top array
+        D.slot(Boundary).fetch_add(1, std::memory_order_relaxed);
+        Local += D.slot(LastIdx).load(std::memory_order_relaxed);
+        D.slot(Rng.nextBounded(K)).fetch_add(1, std::memory_order_relaxed);
+      }
+      Sum.fetch_add(Local);
+    });
+  for (auto &T : Ts)
+    T.join();
+  Stop.store(true);
+  for (auto &G : Growers)
+    G.join();
+  // Every increment must be accounted for somewhere in the directory.
+  const std::size_t K = D.capacity();
+  uint64_t Total = 0;
+  for (std::size_t I = 0; I < K; ++I)
+    Total += D.slot(I).load();
+  EXPECT_EQ(Total, uint64_t{Readers} * 4000 * 2);
+  EXPECT_LE(K, MaxK * 2);
+}
+
 TEST(SlotDirectory, NewSlotsAreValueInitialized) {
   SlotDirectory<uint64_t> D(4);
   D.grow(4);

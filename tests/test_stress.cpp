@@ -15,7 +15,10 @@
 #include "ds/michael_hashmap.h"
 #include "ds/nm_tree.h"
 #include "ds_common.h"
+#include "lfsmr/kv.h"
 #include "smr/reclaimer_traits.h"
+
+#include <optional>
 
 using namespace lfsmr;
 using namespace lfsmr::ds;
@@ -116,6 +119,72 @@ TYPED_TEST(Stress, NMTreeOversubscribedMix) {
     W.join();
   const auto &MC = T.smr().memCounter();
   EXPECT_GE(MC.allocated(), MC.retired());
+}
+
+TYPED_TEST(Stress, KvSnapshotChurnSoak) {
+  // Oversubscribed soak of the versioned store: every thread mixes
+  // writes, erases, latest reads, and periodic snapshot bursts whose
+  // reads must be repeatable and key-stamped. This is the version-churn
+  // shape that punishes reclamation at write rate (VBR-style stress).
+  const unsigned Threads =
+      std::max(8u, 2 * std::thread::hardware_concurrency());
+  kv::Options O;
+  O.Reclaim = dsTestConfig(Threads);
+  O.Shards = 8;
+  O.BucketsPerShard = 128;
+  O.MinSnapshotSlots = 2;
+  kv::Store<TypeParam> Db(O);
+  constexpr uint64_t KeyRange = 512;
+  for (uint64_t K = 1; K <= KeyRange; ++K)
+    Db.put(0, K, K * 1000);
+
+  std::atomic<int> Bad{0};
+  std::vector<std::thread> Ts;
+  for (unsigned W = 0; W < Threads; ++W)
+    Ts.emplace_back([&, W] {
+      Xoshiro256 Rng(streamSeed(W + 77));
+      for (int I = 0; I < 3000; ++I) {
+        const uint64_t K = 1 + Rng.nextBounded(KeyRange);
+        switch (Rng.nextBounded(8)) {
+        case 0:
+          Db.erase(W, K);
+          break;
+        case 1: {
+          // Snapshot burst: repeatable, key-stamped reads.
+          kv::snapshot Snap = Db.open_snapshot();
+          for (int J = 0; J < 16; ++J) {
+            const uint64_t SK = 1 + Rng.nextBounded(KeyRange);
+            const std::optional<uint64_t> A = Db.get(W, SK, Snap);
+            if (A != Db.get(W, SK, Snap))
+              ++Bad;
+            if (A && *A / 1000 != SK)
+              ++Bad;
+          }
+          break;
+        }
+        case 2: {
+          const std::optional<uint64_t> V = Db.get(W, K);
+          if (V && *V / 1000 != K)
+            ++Bad;
+          break;
+        }
+        default:
+          Db.put(W, K, K * 1000 + W);
+        }
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Bad.load(), 0) << "a snapshot read tore or drifted";
+  EXPECT_EQ(Db.live_snapshots(), 0u);
+
+  // Drain and close the accounting.
+  for (uint64_t K = 1; K <= KeyRange; ++K)
+    Db.erase(0, K);
+  Db.compact(0);
+  const memory_stats MS = Db.stats();
+  EXPECT_EQ(MS.allocated, MS.retired);
+  EXPECT_GE(MS.retired, MS.freed);
 }
 
 TYPED_TEST(Stress, LongRunReclamationKeepsUp) {

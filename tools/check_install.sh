@@ -25,8 +25,11 @@ cmake --build "$BUILD/lib" -j"$JOBS"
 cmake --install "$BUILD/lib"
 
 test -f "$PREFIX/include/lfsmr/lfsmr.h"
+test -f "$PREFIX/include/lfsmr/kv.h"
 test -f "$PREFIX/include/lfsmr/version.h"
 test -f "$PREFIX/include/lfsmr/impl/core/hyaline.h"
+test -f "$PREFIX/include/lfsmr/impl/kv/store.h"
+test -f "$PREFIX/include/lfsmr/impl/kv/snapshot_registry.h"
 test -f "$PREFIX/lib/cmake/lfsmr/lfsmrConfig.cmake"
 test -f "$PREFIX/lib/cmake/lfsmr/lfsmrConfigVersion.cmake"
 
