@@ -335,16 +335,22 @@ void runEnterLeaveSuite(const CommandLine &Cmd, report::Report &Rep) {
 //===----------------------------------------------------------------------===//
 
 /// Workload mixes for the kv suite. Read/write are YCSB-ish point-op
-/// blends; snapshot interleaves writes with snapshot-handle read bursts,
-/// which is the pattern that exercises version pinning + trimming.
-enum class KvMix { Read, Write, Snapshot };
+/// blends; snapshot interleaves writes with snapshot-handle read bursts
+/// (version pinning + trimming); scan interleaves writes with whole-store
+/// snapshot scans (the kv/scan.h layer); resize pours fresh keys into
+/// deliberately tiny tables so the cooperative bucket growth runs
+/// continuously.
+enum class KvMix { Read, Write, Snapshot, Scan, Resize };
 
-/// One thread of a timed kv run; returns its op count.
+/// One thread of a timed kv run; returns its op count. \p NThreads is
+/// the worker count (the resize mix strides fresh keys across it).
 template <typename S>
-uint64_t kvWorker(kv::Store<S> &Db, KvMix Mix, unsigned Tid, uint64_t Seed,
-                  uint64_t KeyRange, std::atomic<bool> &Stop) {
+uint64_t kvWorker(kv::Store<S> &Db, KvMix Mix, unsigned Tid,
+                  unsigned NThreads, uint64_t Seed, uint64_t KeyRange,
+                  std::atomic<bool> &Stop) {
   Xoshiro256 Rng(Seed);
   uint64_t Ops = 0;
+  uint64_t Seq = 0; // resize mix: per-thread fresh-key sequence
   while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
     for (unsigned I = 0; I < 64; ++I, ++Ops) {
       const uint64_t K = Rng.nextBounded(KeyRange);
@@ -381,13 +387,143 @@ uint64_t kvWorker(kv::Store<S> &Db, KvMix Mix, unsigned Tid, uint64_t Seed,
         else
           (void)Db.get(Tid, K);
         break;
+      case KvMix::Scan:
+        // Writers churn while every 4096th op opens a snapshot and scans
+        // the whole store through it (each visited binding counts as one
+        // op — the scan is the product being measured).
+        if ((Ops & 4095) == 0) {
+          kv::snapshot Snap = Db.open_snapshot();
+          uint64_t Seen = 0;
+          Db.scan(Tid, Snap, [&](const uint64_t &, const uint64_t &) {
+            ++Seen;
+          });
+          Ops += Seen;
+        }
+        if (Rng.nextPercent(60))
+          Db.put(Tid, K, K * 2);
+        else
+          (void)Db.get(Tid, K);
+        break;
+      case KvMix::Resize:
+        // Mostly fresh keys, striped per thread so tables only grow;
+        // every 16th op retires an old key. Run against tiny initial
+        // tables, this keeps the cooperative doubling hot for the whole
+        // measurement.
+        if ((Ops & 15) == 0 && Seq > 16)
+          Db.erase(Tid, Tid + NThreads * (Seq - 16));
+        else
+          Db.put(Tid, Tid + NThreads * Seq++, K);
+        break;
       }
     }
   }
   return Ops;
 }
 
+/// The string-panel key format — one definition, shared by the prefill
+/// and the workers (they must stay byte-identical or the panel measures
+/// an empty store).
+inline std::string kvStringKey(uint64_t K) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "key/%016llx",
+                static_cast<unsigned long long>(K));
+  return Buf;
+}
+
+/// One thread of a timed *string-keyed* kv run (read-heavy serving over
+/// `store<S, std::string, std::string>`): the panel that prices the
+/// codec layer's variable-size records.
+template <typename S>
+uint64_t kvStringWorker(kv::Store<S, std::string, std::string> &Db,
+                        unsigned Tid, uint64_t Seed, uint64_t KeyRange,
+                        std::atomic<bool> &Stop) {
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0;
+  char Buf[64];
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      const uint64_t K = Rng.nextBounded(KeyRange);
+      const std::string Key = kvStringKey(K);
+      if (Rng.nextPercent(90))
+        (void)Db.get(Tid, Key);
+      else if (Rng.nextPercent(80)) {
+        std::snprintf(Buf, sizeof(Buf), "value/%llu/padpadpadpadpad",
+                      static_cast<unsigned long long>(K * 2));
+        Db.put(Tid, Key, std::string(Buf));
+      } else
+        Db.erase(Tid, Key);
+    }
+  }
+  return Ops;
+}
+
 template <typename S> struct KvSuiteOp {
+  /// One (panel × threads) data point: builds a store per repeat via
+  /// \p MakeStore, runs \p Worker(Db, Tid, Seed, Stop) on every thread,
+  /// sampling the Figure 12 metric while the workers run (the snapshot
+  /// and scan mixes pin version chains mid-run, so the end-of-run
+  /// residual would badly understate the true peak).
+  template <typename Store, typename MakeStore, typename Worker>
+  static void runPanel(const char *Panel, const char *Mix,
+                       const std::string &Scheme, const SweepOptions &O,
+                       report::Report &Rep, MakeStore &&Make,
+                       Worker &&Work) {
+    for (const int64_t T : O.Threads) {
+      report::DataPoint Pt;
+      Pt.Suite = "kv";
+      Pt.Panel = Panel;
+      Pt.Structure = "kv";
+      Pt.Mix = Mix;
+      Pt.Scheme = Scheme;
+      Pt.Threads = static_cast<unsigned>(T);
+      for (unsigned R = 0; R < O.Repeats; ++R) {
+        std::unique_ptr<Store> Db = Make(static_cast<unsigned>(T));
+        double Mops = 0, Elapsed = 0;
+        uint64_t Ops = 0;
+        double SumUnreclaimed = 0;
+        int64_t PeakUnreclaimed = 0;
+        uint64_t Samples = 0;
+        timedPhaseSampled(
+            static_cast<unsigned>(T), O.Secs,
+            [&](unsigned Tid, std::atomic<bool> &Stop) {
+              // Per-thread stream off the suite seed (repeat R shifts
+              // it, matching the figure sweeps' seed discipline).
+              return Work(*Db, Tid,
+                          SplitMix64(O.Seed + R * 1024 + Tid).next(), Stop);
+            },
+            [&] {
+              const int64_t U = Db->stats().unreclaimed;
+              SumUnreclaimed += static_cast<double>(U);
+              if (U > PeakUnreclaimed)
+                PeakUnreclaimed = U;
+              ++Samples;
+            },
+            Mops, Ops, Elapsed);
+        const memory_stats MS = Db->stats();
+        Pt.Mops.add(Mops);
+        Pt.AvgUnreclaimed.add(
+            Samples ? SumUnreclaimed / static_cast<double>(Samples)
+                    : static_cast<double>(MS.unreclaimed));
+        Pt.PeakUnreclaimed.add(
+            Samples ? static_cast<double>(PeakUnreclaimed)
+                    : static_cast<double>(MS.unreclaimed));
+        Pt.TotalOps += Ops;
+        Pt.WallSec += Elapsed;
+      }
+      Rep.addPoint(Pt);
+    }
+  }
+
+  /// Amply sized store for the point-op and scan panels.
+  static kv::Options pointOptions(unsigned Threads, uint64_t KeyRange) {
+    kv::Options KO;
+    KO.Reclaim.MaxThreads = Threads;
+    KO.Shards = 16;
+    KO.BucketsPerShard =
+        nextPowerOfTwo(std::max<uint64_t>(KeyRange / (16 * 4), 64));
+    return KO;
+  }
+
   static void run(const std::string &Scheme, const SweepOptions &O,
                   report::Report &Rep) {
     struct PanelDef {
@@ -395,68 +531,67 @@ template <typename S> struct KvSuiteOp {
       const char *Mix;
       KvMix M;
     };
+    // u64 point/snapshot/scan panels over a prefilled store.
     static constexpr PanelDef Panels[] = {
         {"kv-read", "read", KvMix::Read},
         {"kv-write", "write", KvMix::Write},
         {"kv-snapshot", "snapshot", KvMix::Snapshot},
+        {"kv-scan", "scan", KvMix::Scan},
     };
-    for (const PanelDef &P : Panels) {
-      for (const int64_t T : O.Threads) {
-        report::DataPoint Pt;
-        Pt.Suite = "kv";
-        Pt.Panel = P.Panel;
-        Pt.Structure = "kv";
-        Pt.Mix = P.Mix;
-        Pt.Scheme = Scheme;
-        Pt.Threads = static_cast<unsigned>(T);
-        for (unsigned R = 0; R < O.Repeats; ++R) {
+    using U64Store = kv::Store<S>;
+    for (const PanelDef &P : Panels)
+      runPanel<U64Store>(
+          P.Panel, P.Mix, Scheme, O, Rep,
+          [&](unsigned T) {
+            auto Db = std::make_unique<U64Store>(pointOptions(T, O.KeyRange));
+            for (uint64_t K = 0; K < O.Prefill; ++K)
+              Db->put(0, K, K * 2);
+            return Db;
+          },
+          [&, M = P.M](U64Store &Db, unsigned Tid, uint64_t Seed,
+                       std::atomic<bool> &Stop) {
+            return kvWorker(Db, M, Tid,
+                            static_cast<unsigned>(Db.options().Reclaim
+                                                      .MaxThreads),
+                            Seed, O.KeyRange, Stop);
+          });
+
+    // kv-resize: deliberately tiny tables, insert-heavy striped keys —
+    // measures throughput *while* the cooperative doubling runs.
+    runPanel<U64Store>(
+        "kv-resize", "resize", Scheme, O, Rep,
+        [&](unsigned T) {
           kv::Options KO;
-          KO.Reclaim.MaxThreads = static_cast<unsigned>(T);
-          KO.Shards = 16;
-          KO.BucketsPerShard = nextPowerOfTwo(
-              std::max<uint64_t>(O.KeyRange / (16 * 4), 64));
-          kv::Store<S> Db(KO);
+          KO.Reclaim.MaxThreads = T;
+          KO.Shards = 8;
+          KO.BucketsPerShard = 4;
+          KO.MaxLoadFactor = 2;
+          return std::make_unique<U64Store>(KO);
+        },
+        [&](U64Store &Db, unsigned Tid, uint64_t Seed,
+            std::atomic<bool> &Stop) {
+          return kvWorker(Db, KvMix::Resize, Tid,
+                          static_cast<unsigned>(
+                              Db.options().Reclaim.MaxThreads),
+                          Seed, O.KeyRange, Stop);
+        });
+
+    // kv-string: owned byte-string keys and values through the codec
+    // layer (variable-size records), read-heavy serving blend.
+    using StrStore = kv::Store<S, std::string, std::string>;
+    runPanel<StrStore>(
+        "kv-string", "string", Scheme, O, Rep,
+        [&](unsigned T) {
+          auto Db =
+              std::make_unique<StrStore>(pointOptions(T, O.KeyRange));
           for (uint64_t K = 0; K < O.Prefill; ++K)
-            Db.put(0, K, K * 2);
-          double Mops = 0, Elapsed = 0;
-          uint64_t Ops = 0;
-          // Sample the Figure 12 metric while the workers run: the
-          // snapshot mix pins version chains mid-run, so the end-of-run
-          // residual would badly understate the true peak.
-          double SumUnreclaimed = 0;
-          int64_t PeakUnreclaimed = 0;
-          uint64_t Samples = 0;
-          timedPhaseSampled(
-              static_cast<unsigned>(T), O.Secs,
-              [&](unsigned Tid, std::atomic<bool> &Stop) {
-                // Per-thread stream off the suite seed (repeat R shifts
-                // it, matching the figure sweeps' seed discipline).
-                return kvWorker(Db, P.M, Tid,
-                                SplitMix64(O.Seed + R * 1024 + Tid).next(),
-                                O.KeyRange, Stop);
-              },
-              [&] {
-                const int64_t U = Db.stats().unreclaimed;
-                SumUnreclaimed += static_cast<double>(U);
-                if (U > PeakUnreclaimed)
-                  PeakUnreclaimed = U;
-                ++Samples;
-              },
-              Mops, Ops, Elapsed);
-          const memory_stats MS = Db.stats();
-          Pt.Mops.add(Mops);
-          Pt.AvgUnreclaimed.add(
-              Samples ? SumUnreclaimed / static_cast<double>(Samples)
-                      : static_cast<double>(MS.unreclaimed));
-          Pt.PeakUnreclaimed.add(
-              Samples ? static_cast<double>(PeakUnreclaimed)
-                      : static_cast<double>(MS.unreclaimed));
-          Pt.TotalOps += Ops;
-          Pt.WallSec += Elapsed;
-        }
-        Rep.addPoint(Pt);
-      }
-    }
+            Db->put(0, kvStringKey(K), "value/" + std::to_string(K * 2));
+          return Db;
+        },
+        [&](StrStore &Db, unsigned Tid, uint64_t Seed,
+            std::atomic<bool> &Stop) {
+          return kvStringWorker(Db, Tid, Seed, O.KeyRange, Stop);
+        });
   }
 };
 
@@ -467,6 +602,82 @@ void runKvSuite(const CommandLine &Cmd, report::Report &Rep) {
   Rep.note("kv: hp runs the store's intrusive node mode; every other "
            "scheme runs transparent allocation (guard::create/retire)");
   Rep.note("kv: nomm never reclaims trimmed versions (leaking floor)");
+  Rep.note("kv: kv-string runs store<S, std::string, std::string> "
+           "(variable-size codec records); kv-resize starts from 4-bucket "
+           "shards so cooperative growth runs for the whole measurement");
+}
+
+//===----------------------------------------------------------------------===//
+// ablation: Hyaline Slots × MinBatch knob sweep (paper Section 3.2)
+//===----------------------------------------------------------------------===//
+
+/// Replaces the deleted standalone `ablation_batch_slots` binary: sweeps
+/// the Hyaline-family `Slots` (per-slot retirement lists, paper §3.2)
+/// and `MinBatch` (batch threshold; effective `max(MinBatch, k+1)`)
+/// knobs over the Michael hash-map write mix, one data point per
+/// (scheme × slots × minbatch × threads). The knobs ride in the panel
+/// name as `s<slots>xb<minbatch>`.
+void runAblationSuite(const CommandLine &Cmd, report::Report &Rep) {
+  SweepOptions O = parseSweep(Cmd);
+  // The knobs only exist in the Hyaline family; default to the paper's
+  // multi-list variants rather than every scheme.
+  if (!Cmd.has("schemes"))
+    O.Schemes = {"hyaline", "hyalines"};
+  const bool Full = Cmd.has("full");
+  const std::vector<int64_t> Slots = Cmd.getIntList(
+      "slots", Full ? std::vector<int64_t>{1, 2, 4, 8, 16}
+                    : std::vector<int64_t>{2, 8});
+  const std::vector<int64_t> Batches = Cmd.getIntList(
+      "minbatch", Full ? std::vector<int64_t>{8, 32, 64, 128, 256}
+                       : std::vector<int64_t>{16, 64});
+  for (const int64_t V : Slots)
+    requireAtLeastOne(V, "slots");
+  for (const int64_t V : Batches)
+    requireAtLeastOne(V, "minbatch");
+
+  for (const std::string &Scheme : O.Schemes) {
+    for (const int64_t SlotsK : Slots) {
+      for (const int64_t MinBatch : Batches) {
+        char Panel[48];
+        std::snprintf(Panel, sizeof(Panel), "s%lldxb%lld",
+                      static_cast<long long>(SlotsK),
+                      static_cast<long long>(MinBatch));
+        for (const int64_t T : O.Threads) {
+          report::DataPoint Pt;
+          Pt.Suite = "ablation";
+          Pt.Panel = Panel;
+          Pt.Structure = "hashmap";
+          Pt.Mix = harness::WriteMix.Name;
+          Pt.Scheme = Scheme;
+          Pt.Threads = static_cast<unsigned>(T);
+          for (unsigned R = 0; R < O.Repeats; ++R) {
+            harness::RunSpec Spec;
+            Spec.Scheme = Scheme;
+            Spec.Ds = "hashmap";
+            Spec.Mix = harness::WriteMix;
+            Spec.Threads = static_cast<unsigned>(T);
+            Spec.Params.KeyRange = O.KeyRange;
+            Spec.Params.Prefill = O.Prefill;
+            Spec.Params.DurationSec = O.Secs;
+            Spec.Params.Seed = O.Seed + R;
+            Spec.Cfg.Slots = static_cast<unsigned>(SlotsK);
+            Spec.Cfg.MinBatch = static_cast<unsigned>(MinBatch);
+            const harness::RunResult Res = harness::runOne(Spec);
+            Pt.Mops.add(Res.Mops);
+            Pt.AvgUnreclaimed.add(Res.AvgUnreclaimed);
+            Pt.PeakUnreclaimed.add(
+                static_cast<double>(Res.PeakUnreclaimed));
+            Pt.TotalOps += Res.TotalOps;
+            Pt.WallSec += Res.ElapsedSec;
+          }
+          Rep.addPoint(Pt);
+        }
+      }
+    }
+  }
+  Rep.note("ablation: Slots/MinBatch are Hyaline-family knobs (paper "
+           "Section 3.2); the effective batch threshold is "
+           "max(MinBatch, slots + 1). Other schemes ignore them.");
 }
 
 //===----------------------------------------------------------------------===//
@@ -639,9 +850,10 @@ void runTable1Suite(const CommandLine &, report::Report &Rep) {
 /// can pass one flag vector to every suite.
 const std::vector<std::string> &knownFlags() {
   static const std::vector<std::string> Flags = {
-      "help",    "format",  "out",     "full",   "seed",
+      "help",    "format",  "out",     "full",     "seed",
       "threads", "secs",    "repeats", "keyrange", "prefill",
-      "schemes", "ops",     "writers", "sample",   "version"};
+      "schemes", "ops",     "writers", "sample",   "version",
+      "slots",   "minbatch"};
   return Flags;
 }
 
@@ -708,10 +920,12 @@ const std::vector<Suite> &lfsmr::bench::allSuites() {
       {"nmtree", "Natarajan-Mittal tree sweep (Fig. 11c/11f, 12c/12f)",
        &runNMTreeSuite},
       {"bonsai", "Bonsai tree sweep (Fig. 13)", &runBonsaiSuite},
-      {"kv", "versioned KV store: snapshot reads + write-side trim",
+      {"kv", "versioned KV store: snapshot reads/scans, string keys, resize",
        &runKvSuite},
       {"enter-leave", "SMR primitive microbenchmarks (Section 3.2 costs)",
        &runEnterLeaveSuite},
+      {"ablation", "Hyaline Slots x MinBatch knob sweep (Section 3.2)",
+       &runAblationSuite},
       {"stall", "stalled-reader robustness series (Theorem 5)",
        &runStallSuite},
       {"table1", "qualitative comparison, measured header sizes (Table 1)",
@@ -741,6 +955,7 @@ void lfsmr::bench::printUsage(std::FILE *Out) {
       "  --keyrange N --prefill N  key space / prefill size\n"
       "  --seed S                  base suite seed (repeat R uses S+R)\n"
       "  --ops N --writers N --sample N   stall-suite churn parameters\n"
+      "  --slots 1,2,4 --minbatch 8,64    ablation-suite knob grids\n"
       "  --version                 print version + build git sha, exit\n"
       "  --help                    this message\n");
 }

@@ -13,8 +13,10 @@
 ///   hashmap     Michael hash map           (Fig. 11b/11e + 12b/12e)
 ///   nmtree      Natarajan-Mittal tree      (Fig. 11c/11f + 12c/12f)
 ///   bonsai      Bonsai tree                (Fig. 13)
-///   kv          versioned KV store         (snapshot reads, lfsmr::kv)
+///   kv          versioned KV store         (snapshot reads/scans, string
+///                                           keys, cooperative resizing)
 ///   enter-leave SMR primitive microbench   (Section 3.2 costs)
+///   ablation    Hyaline Slots x MinBatch   (Section 3.2 knob sweep)
 ///   stall       stalled-reader robustness  (Theorem 5 / Section 4.2)
 ///   table1      qualitative comparison     (Table 1, measured headers)
 ///   all         every suite above, one report

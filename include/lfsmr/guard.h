@@ -35,6 +35,7 @@
 #include "lfsmr/protected_ptr.h"
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -181,6 +182,25 @@ public:
     s->initNode(g, &block->Hdr);
     // A discarded block is counted as retire+free, keeping the accounting
     // invariant "unreclaimed == retired - freed" intact.
+    return detail::constructTransparent<T>(
+        obj, [this, block] { s->discard(&block->Hdr); },
+        std::forward<Args>(args)...);
+  }
+
+  /// `create<T>()` with `extra` uninitialized bytes appended directly
+  /// after the object inside the same library-owned block — one
+  /// allocation, one retire, for variable-size records (a length-prefixed
+  /// byte payload riding behind its header, as `lfsmr::kv`'s string
+  /// codecs do). The trailing bytes have no alignment guarantee beyond
+  /// `alignof(T)` + `sizeof(T)` and are freed with the block; `T`'s
+  /// destructor must not assume they were initialized.
+  template <typename T, typename... Args>
+  T *create_extended(std::size_t extra, Args &&...args) {
+    require_transparent("guard::create_extended<T>()");
+    detail::TransparentBlock<Scheme> *block = nullptr;
+    void *obj = detail::allocateTransparent<Scheme>(sizeof(T) + extra,
+                                                    alignof(T), block);
+    s->initNode(g, &block->Hdr);
     return detail::constructTransparent<T>(
         obj, [this, block] { s->discard(&block->Hdr); },
         std::forward<Args>(args)...);

@@ -6,8 +6,8 @@
 ///
 /// \file
 /// `lfsmr::kv` — a sharded, versioned key-value store with snapshot
-/// reads, built entirely on the public reclamation API. It is the
-/// library's serving-scale workload: every allocation and retirement
+/// reads and scans, built entirely on the public reclamation API. It is
+/// the library's serving-scale workload: every allocation and retirement
 /// flows through `lfsmr::domain`/`lfsmr::guard` (transparent mode where
 /// the scheme allows it, intrusive headers under hazard pointers), and a
 /// versioned store retires obsolete versions at write rate — the shape
@@ -16,7 +16,7 @@
 /// \code
 ///   #include <lfsmr/kv.h>
 ///
-///   lfsmr::kv::store<lfsmr::schemes::hyaline_s> db;
+///   lfsmr::kv::store<lfsmr::schemes::hyaline_s> db;          // u64 -> u64
 ///
 ///   db.put(tid, /*key=*/42, /*value=*/1);
 ///   lfsmr::kv::snapshot snap = db.open_snapshot();
@@ -24,17 +24,38 @@
 ///
 ///   db.get(tid, 42);        // => 2 (latest)
 ///   db.get(tid, 42, snap);  // => 1 (as of the snapshot)
-///   db.for_each(tid, snap, [](uint64_t k, uint64_t v) { ... });
+///
+///   // String keys and values are one template argument away:
+///   lfsmr::kv::store<lfsmr::schemes::hyaline_s,
+///                    std::string, std::string> names;
+///   names.put(tid, "user/7/name", "ada");
+///   auto cut = names.open_snapshot();
+///   names.scan(tid, cut, [](std::string_view k, std::string_view v) {
+///     /* consistent cut of the whole store */
+///   });
+///   names.scan_prefix(tid, cut, "user/7/", [](auto k, auto v) { ... });
 /// \endcode
 ///
 /// Semantics:
 ///
+///  - **Typed payloads through codecs.** Keys and values may be
+///    `uint64_t` (the default), any trivially-copyable struct, or
+///    `std::string` (owned byte-strings). Variable-size payloads live in
+///    the version record's own allocation — one node to protect, retire,
+///    and free per version (`kv::Codec`).
 ///  - **Versioned writes.** `put`/`erase` append a stamped version to the
 ///    key's lock-free chain; `erase` writes a tombstone so older
 ///    snapshots keep seeing the previous value.
-///  - **Snapshot reads.** `open_snapshot()` captures the store-wide
-///    version clock; reads through the handle are repeatable and see,
-///    per key, the newest version at or below the captured value.
+///  - **Snapshot reads & scans.** `open_snapshot()` captures the
+///    store-wide version clock; reads through the handle are repeatable
+///    and see, per key, the newest version at or below the captured
+///    value. `scan`/`scan_prefix` visit every binding in that cut —
+///    consistently even across concurrent bucket growth.
+///  - **Cooperative per-shard resizing.** Each shard's bucket array is a
+///    grow-only directory over a split-ordered key list: the writer that
+///    pushes a shard past its load factor doubles the directory, buckets
+///    materialize lazily under the guards of the writers that touch
+///    them, and readers never block (key nodes never move).
 ///  - **Write-side trimming.** Versions older than what the oldest live
 ///    snapshot can see are retired by the writers themselves — no
 ///    background thread. With no snapshot open every chain trims to one
@@ -43,24 +64,32 @@
 ///    *guard* is whatever the chosen scheme guarantees.
 ///  - **All nine schemes.** The store picks intrusive node layout for
 ///    address-protecting schemes (HP) and transparent allocation for the
-///    rest, so `store<Scheme>` compiles and runs for every alias in
-///    `lfsmr/schemes.h`.
+///    rest, so `store<Scheme, K, V>` compiles and runs for every alias
+///    in `lfsmr/schemes.h`.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LFSMR_KV_H
 #define LFSMR_KV_H
 
+#include "kv/codec.h"
 #include "kv/snapshot_registry.h"
 #include "kv/store.h"
 
+#include <cstdint>
+
 namespace lfsmr::kv {
 
-/// Sharded, versioned KV store (64-bit keys and values) generic over the
-/// reclamation scheme. See `kv::Store` for the full operation surface:
-/// `put`, `erase`, `get`, `get(at snapshot)`, `open_snapshot`,
-/// `for_each`, `compact`, `stats`.
-template <typename Scheme> using store = Store<Scheme>;
+/// Sharded, versioned KV store generic over the reclamation scheme and
+/// the key/value types (64-bit integers by default; trivially-copyable
+/// structs and `std::string` are supported out of the box, other types
+/// via a `kv::Codec` specialization). See `kv::Store` for the full
+/// operation surface: `put`, `erase`, `get`, `get(at snapshot)`,
+/// `open_snapshot`, `scan`, `scan_prefix`, `for_each`, `compact`,
+/// `stats`, `options`.
+template <typename Scheme, typename K = std::uint64_t,
+          typename V = std::uint64_t>
+using store = Store<Scheme, K, V>;
 
 /// Move-only RAII snapshot handle returned by `store::open_snapshot`;
 /// releases its claim on destruction. `version()` is the clock value it
@@ -68,8 +97,11 @@ template <typename Scheme> using store = Store<Scheme>;
 /// came from — releasing writes into store-owned state.
 using snapshot = SnapshotHandle;
 
-/// Construction-time knobs: shard count, buckets per shard, initial
-/// snapshot-slot count, and the reclamation-domain configuration.
+/// Construction-time knobs: shard count, initial buckets per shard, the
+/// resize load factor, initial snapshot-slot count, and the
+/// reclamation-domain configuration. Power-of-two fields are rounded up
+/// symmetrically; `store::options()` returns the values actually
+/// applied.
 using options = Options;
 
 } // namespace lfsmr::kv

@@ -1,0 +1,387 @@
+//===- kv/shard_index.h - Sharded split-ordered key index --------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shard index layer of `lfsmr::kv`: owns the per-shard bucket
+/// arrays and the Michael-list protocol over key nodes, and adds
+/// **cooperative lock-free bucket growth** so a shard's bucket count
+/// scales with its load — readers never block, and no key node ever
+/// moves.
+///
+/// Design: one *split-ordered list* per shard (Shalev & Shavit), built
+/// from the same two ingredients the reclamation core already proves
+/// out —
+///
+///  - Each shard keeps ONE sorted lock-free list of nodes, ordered by
+///    the *split-order key* `reverse_bits(hash) | 1` for items and
+///    `reverse_bits(bucket)` for per-bucket **dummy** sentinels (item
+///    keys are odd, dummy keys even, so they never collide). With
+///    power-of-two bucket counts and low-bit bucket selection, doubling
+///    the bucket array splits every chain *in place*: the nodes of new
+///    bucket `b + K` form a contiguous suffix of old bucket `b`'s chain,
+///    already in order. Growth therefore never relinks an item — it only
+///    inserts a new dummy at the split point.
+///  - The bucket array is a `core::SlotDirectory` (the paper's §4.3
+///    grow-only directory): doubling appends one array, existing buckets
+///    never move, readers need no coordination, and nothing is ever
+///    copied or retired mid-flight.
+///
+/// Cooperation: growth is *load-factor-triggered* (a writer that pushes
+/// a shard past `MaxLoadFactor` items per bucket doubles the directory)
+/// and *migration is incremental* — a new bucket is materialized the
+/// first time a writer needs it, by inserting its dummy under that
+/// writer's guard (recursing to the parent bucket, so the work is
+/// O(log growth) amortized and spread over all writers). Readers that
+/// meet an uninitialized bucket simply start from the nearest
+/// initialized ancestor — a longer walk, never a block and never an
+/// allocation on the read path.
+///
+/// The index is policy-based: the store supplies the node layout
+/// (`LinkPart` prefix accessors), key matching/ordering for
+/// hash-collision ties, dummy-node allocation, and the retire hook for
+/// unlinked items (which must also retire the item's version chain).
+/// Protection discipline matches `ds::ListOps::find`: slots 0–2 rotate
+/// along the walk, marked nodes are unlinked in passing, and the unlink
+/// winner owns the retire.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_KV_SHARD_INDEX_H
+#define LFSMR_KV_SHARD_INDEX_H
+
+#include "core/slot_directory.h"
+#include "support/align.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace lfsmr::kv {
+
+/// Reverses the bit order of \p X (the split-order transform).
+constexpr std::uint64_t bitReverse64(std::uint64_t X) {
+  X = ((X & 0x5555555555555555ULL) << 1) | ((X >> 1) & 0x5555555555555555ULL);
+  X = ((X & 0x3333333333333333ULL) << 2) | ((X >> 2) & 0x3333333333333333ULL);
+  X = ((X & 0x0f0f0f0f0f0f0f0fULL) << 4) | ((X >> 4) & 0x0f0f0f0f0f0f0f0fULL);
+  X = ((X & 0x00ff00ff00ff00ffULL) << 8) | ((X >> 8) & 0x00ff00ff00ff00ffULL);
+  X = ((X & 0x0000ffff0000ffffULL) << 16) |
+      ((X >> 16) & 0x0000ffff0000ffffULL);
+  return (X << 32) | (X >> 32);
+}
+
+static_assert(bitReverse64(1) == (std::uint64_t{1} << 63));
+static_assert(bitReverse64(bitReverse64(0x123456789abcdef0ULL)) ==
+              0x123456789abcdef0ULL);
+
+/// Split-order key of an item with hash \p H (odd: low bit set).
+constexpr std::uint64_t itemSoKey(std::uint64_t H) {
+  return bitReverse64(H) | 1;
+}
+
+/// Split-order key of bucket \p B's dummy sentinel (even).
+constexpr std::uint64_t dummySoKey(std::uint64_t B) { return bitReverse64(B); }
+
+/// Parent of bucket \p B (> 0) in the split hierarchy: \p B with its top
+/// set bit cleared. Bucket 0 is the root and always initialized.
+constexpr std::size_t parentBucket(std::size_t B) {
+  return B & ~(std::size_t{1} << floorLog2(B));
+}
+
+static_assert(parentBucket(1) == 0 && parentBucket(5) == 1 &&
+              parentBucket(12) == 4);
+
+/// Common prefix of every node linked into a shard list (items and
+/// dummies alike): the split-order key and the chain link. The low bit
+/// of `Next` is Michael's logical-deletion mark (items only — dummies
+/// are never marked or removed).
+struct LinkPart {
+  /// Split-order position (immutable; odd = item, even = dummy).
+  std::uint64_t SoKey;
+  /// Successor in the shard list; low bit = removal mark.
+  std::atomic<std::uintptr_t> Next{0};
+
+  explicit LinkPart(std::uint64_t So) : SoKey(So) {}
+};
+
+/// The per-shard split-ordered index over a node layout described by
+/// \p Policy. The policy (the store) provides:
+///
+/// \code
+///   using guard_type = ...;               // lfsmr::guard<Scheme>
+///   struct Probe { uint64_t SoKey; ... }; // a key lookup probe
+///   LinkPart  *linkOf(uintptr_t Raw);     // tag-stripped node -> prefix
+///   int  compareTie(uintptr_t Raw, const Probe &); // same-SoKey order
+///   uintptr_t  makeDummy(guard_type &, uint64_t SoKey); // alloc+init
+///   void discardDummy(guard_type &, uintptr_t);  // lost the insert race
+///   void retireUnlinked(guard_type &, uintptr_t); // unlinked marked item
+/// \endcode
+///
+/// `retireUnlinked` is called exactly once per item, by the thread whose
+/// CAS physically removed it.
+template <typename Policy> class ShardIndex {
+public:
+  using guard_type = typename Policy::guard_type;
+  using Probe = typename Policy::Probe;
+
+  /// Mark bit of a link word.
+  static constexpr std::uintptr_t Tag = 1;
+
+  /// Protection slots the walk rotates (callers must leave 0–2 to the
+  /// index while a Position is live).
+  static constexpr unsigned WalkSlots = 3;
+
+  /// A located position in a shard list: the link that pointed at
+  /// `Curr`, the first node at or after the probe (null at the tail),
+  /// and whether it matches the probe exactly.
+  struct Position {
+    std::atomic<std::uintptr_t> *PrevLink;
+    std::uintptr_t CurrRaw; ///< 0 at the tail
+    std::uintptr_t NextRaw; ///< Curr's successor word (unmarked)
+    bool Found;
+  };
+
+  /// One shard: the grow-only bucket directory (each slot holds a dummy
+  /// node pointer, 0 = not yet materialized) and the item count driving
+  /// the load-factor trigger.
+  struct alignas(CacheLineSize) Shard {
+    core::SlotDirectory<std::atomic<std::uintptr_t>> Buckets;
+    std::atomic<std::int64_t> Items{0};
+
+    explicit Shard(std::size_t MinBuckets) : Buckets(MinBuckets) {}
+  };
+
+  /// \p MinBuckets is each shard's initial bucket count (power of two);
+  /// \p MaxLoadFactor is the items-per-bucket growth trigger (0 = never
+  /// grow). The root dummies are created lazily by `attachRoot` because
+  /// allocation needs a guard, which needs the store's domain.
+  ShardIndex(Policy &P, std::size_t NumShards, std::size_t MinBuckets,
+             std::size_t MaxLoadFactor)
+      : Pol(P), NumShards(NumShards), LoadFactor(MaxLoadFactor) {
+    Shards_.reset(static_cast<Shard *>(::operator new(
+        NumShards * sizeof(Shard), std::align_val_t(alignof(Shard)))));
+    for (std::size_t S = 0; S < NumShards; ++S)
+      new (&Shards_[S]) Shard(MinBuckets);
+  }
+
+  ~ShardIndex() {
+    for (std::size_t S = 0; S < NumShards; ++S)
+      Shards_[S].~Shard();
+  }
+
+  ShardIndex(const ShardIndex &) = delete;
+  ShardIndex &operator=(const ShardIndex &) = delete;
+
+  /// Installs shard \p S's bucket-0 dummy (store construction only;
+  /// single-threaded).
+  void attachRoot(guard_type &G, std::size_t S) {
+    Shards_[S].Buckets.slot(0).store(Pol.makeDummy(G, dummySoKey(0)),
+                                     std::memory_order_release);
+  }
+
+  /// Shard \p S's state (scan layer + destructor walk the list from the
+  /// root dummy; tests read Items).
+  Shard &shard(std::size_t S) { return Shards_[S]; }
+  /// Number of shards.
+  std::size_t shards() const { return NumShards; }
+
+  /// Raw pointer to shard \p S's root dummy (head of the whole list).
+  std::uintptr_t root(std::size_t S) {
+    return Shards_[S].Buckets.slot(0).load(std::memory_order_acquire);
+  }
+
+  /// Current bucket count of shard \p S (monotone; for stats/tests).
+  std::size_t buckets(std::size_t S) const {
+    return Shards_[S].Buckets.capacity();
+  }
+
+  /// Item count of shard \p S (approximate under concurrency).
+  std::int64_t items(std::size_t S) const {
+    return Shards_[S].Items.load(std::memory_order_relaxed);
+  }
+
+  /// Michael's find over shard \p S for \p P, starting from the deepest
+  /// materialized bucket for \p Hash. Writers (\p InitBuckets) insert
+  /// missing dummies on the way; readers fall back to an ancestor
+  /// bucket. Physically unlinks marked items in passing (the CAS winner
+  /// retires them through the policy). Rotates protection slots 0–2.
+  Position find(guard_type &G, std::size_t S, std::uint64_t Hash,
+                const Probe &P, bool InitBuckets) {
+    Shard &Sh = Shards_[S];
+    const std::size_t K = Sh.Buckets.capacity();
+    const std::size_t B = static_cast<std::size_t>(Hash) & (K - 1);
+    std::uintptr_t Head = InitBuckets ? bucketInit(G, Sh, B)
+                                      : bucketReady(Sh, B);
+    return walk(G, Sh, Head, P);
+  }
+
+  /// Links \p FreshRaw (an item node whose `LinkPart` is already filled
+  /// in except `Next`) at \p Pos. On success bumps the shard's item
+  /// count and applies the load-factor growth trigger. On failure the
+  /// caller re-finds and retries (the fresh node stays caller-owned).
+  bool insertAt(guard_type &G, std::size_t S, const Position &Pos,
+                std::uintptr_t FreshRaw) {
+    Pol.linkOf(FreshRaw)->Next.store(Pos.CurrRaw, std::memory_order_relaxed);
+    std::uintptr_t Expected = Pos.CurrRaw;
+    if (!Pos.PrevLink->compare_exchange_strong(Expected, FreshRaw,
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_acquire))
+      return false;
+    Shard &Sh = Shards_[S];
+    const std::int64_t N =
+        Sh.Items.fetch_add(1, std::memory_order_relaxed) + 1;
+    maybeGrow(Sh, N);
+    (void)G;
+    return true;
+  }
+
+  /// Marks \p Raw (an item already logically dead at the store level)
+  /// for removal and lets a find pass unlink + retire it. Idempotent.
+  void helpUnlink(guard_type &G, std::size_t S, std::uintptr_t Raw,
+                  std::uint64_t Hash, const Probe &P) {
+    std::atomic<std::uintptr_t> &Next = Pol.linkOf(Raw)->Next;
+    std::uintptr_t W = Next.load(std::memory_order_acquire);
+    while (!(W & Tag) &&
+           !Next.compare_exchange_weak(W, W | Tag, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    }
+    find(G, S, Hash, P, /*InitBuckets=*/true); // helping unlink + retire
+  }
+
+private:
+  /// Doubles \p Sh's bucket directory when \p Items exceeds the load
+  /// factor. Lock-free (`SlotDirectory::grow` is CAS-based and racing
+  /// growers are benign); the new buckets materialize lazily.
+  void maybeGrow(Shard &Sh, std::int64_t Items) {
+    if (!LoadFactor)
+      return;
+    const std::size_t K = Sh.Buckets.capacity();
+    if (static_cast<std::size_t>(Items) > LoadFactor * K)
+      Sh.Buckets.grow(K);
+  }
+
+  /// Reader path: the deepest *already materialized* bucket for \p B —
+  /// never allocates, never blocks.
+  std::uintptr_t bucketReady(Shard &Sh, std::size_t B) {
+    for (;;) {
+      const std::uintptr_t D =
+          Sh.Buckets.slot(B).load(std::memory_order_acquire);
+      if (D)
+        return D;
+      assert(B != 0 && "bucket 0 is materialized at construction");
+      B = parentBucket(B);
+    }
+  }
+
+  /// Writer path: materializes bucket \p B (and, transitively, its
+  /// ancestors) by inserting its dummy at the split point of the parent
+  /// chain. Racing initializers are reconciled through the list itself:
+  /// the loser finds the winner's dummy at the same split-order key,
+  /// discards its own, and adopts the winner's.
+  std::uintptr_t bucketInit(guard_type &G, Shard &Sh, std::size_t B) {
+    std::atomic<std::uintptr_t> &Slot = Sh.Buckets.slot(B);
+    std::uintptr_t D = Slot.load(std::memory_order_acquire);
+    if (D)
+      return D;
+    const std::uintptr_t Parent = bucketInit(G, Sh, parentBucket(B));
+    const std::uint64_t So = dummySoKey(B);
+    std::uintptr_t Fresh = 0;
+    const Probe P = Policy::dummyProbe(So);
+    for (;;) {
+      Position Pos = walk(G, Sh, Parent, P);
+      if (Pos.Found) {
+        // A racer (or an earlier partial init) already linked the dummy.
+        D = Pos.CurrRaw & ~Tag;
+        break;
+      }
+      if (!Fresh)
+        Fresh = Pol.makeDummy(G, So);
+      Pol.linkOf(Fresh)->Next.store(Pos.CurrRaw, std::memory_order_relaxed);
+      std::uintptr_t Expected = Pos.CurrRaw;
+      if (Pos.PrevLink->compare_exchange_strong(Expected, Fresh,
+                                                std::memory_order_seq_cst,
+                                                std::memory_order_acquire)) {
+        D = Fresh;
+        Fresh = 0;
+        break;
+      }
+    }
+    if (Fresh)
+      Pol.discardDummy(G, Fresh);
+    // First writer to get here publishes; later ones agree (the dummy at
+    // one split-order key is unique once linked, and never removed).
+    std::uintptr_t Null = 0;
+    Slot.compare_exchange_strong(Null, D, std::memory_order_acq_rel,
+                                 std::memory_order_acquire);
+    return Slot.load(std::memory_order_acquire);
+  }
+
+  /// The Michael walk from \p HeadNode (a dummy, never removable) to the
+  /// first node at or after \p P. `PrevLink` always points into a node
+  /// that cannot be freed while this guard holds it protected — the head
+  /// dummy is immortal, and every later Prev is protected by the slot
+  /// rotation exactly as in `ds::ListOps::find`. The unlink winner of a
+  /// marked item both retires it (through the policy) and decrements the
+  /// shard's item count.
+  Position walk(guard_type &G, Shard &Sh, std::uintptr_t HeadNode,
+                const Probe &P) {
+  Retry:
+    std::atomic<std::uintptr_t> *PrevLink = &Pol.linkOf(HeadNode)->Next;
+    unsigned CurrIdx = 0, NextIdx = 1, SpareIdx = 2;
+    std::uintptr_t CurrRaw = G.protect_link(*PrevLink, CurrIdx);
+    for (;;) {
+      if (!(CurrRaw & ~Tag))
+        return Position{PrevLink, 0, 0, false};
+      LinkPart *Curr = Pol.linkOf(CurrRaw);
+      const std::uintptr_t NextRaw = G.protect_link(Curr->Next, NextIdx);
+      if (PrevLink->load(std::memory_order_acquire) != (CurrRaw & ~Tag))
+        goto Retry;
+      if (NextRaw & Tag) {
+        // Logically removed item: unlink; the CAS winner retires it.
+        std::uintptr_t Expected = CurrRaw & ~Tag;
+        if (!PrevLink->compare_exchange_strong(Expected, NextRaw & ~Tag,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire))
+          goto Retry;
+        Sh.Items.fetch_sub(1, std::memory_order_relaxed);
+        Pol.retireUnlinked(G, CurrRaw & ~Tag);
+        CurrRaw = NextRaw & ~Tag;
+        std::swap(CurrIdx, NextIdx);
+        continue;
+      }
+      if (Curr->SoKey >= P.SoKey) {
+        if (Curr->SoKey > P.SoKey)
+          return Position{PrevLink, CurrRaw & ~Tag, NextRaw, false};
+        const int C = Pol.compareTie(CurrRaw & ~Tag, P);
+        if (C >= 0)
+          return Position{PrevLink, CurrRaw & ~Tag, NextRaw, C == 0};
+      }
+      PrevLink = &Curr->Next;
+      CurrRaw = NextRaw;
+      const unsigned Old = SpareIdx;
+      SpareIdx = CurrIdx;
+      CurrIdx = NextIdx;
+      NextIdx = Old;
+    }
+  }
+
+  Policy &Pol;
+  const std::size_t NumShards;
+  const std::size_t LoadFactor;
+
+  struct ShardArrayDeleter {
+    void operator()(Shard *P) const {
+      ::operator delete(P, std::align_val_t(alignof(Shard)));
+    }
+  };
+  std::unique_ptr<Shard[], ShardArrayDeleter> Shards_;
+};
+
+} // namespace lfsmr::kv
+
+#endif // LFSMR_KV_SHARD_INDEX_H

@@ -71,6 +71,15 @@ public:
   static constexpr std::uint64_t StampBits = 48;
   static constexpr std::uint64_t StampMask = (std::uint64_t{1} << StampBits) - 1;
 
+  /// Saturation bound of one slot's 15-bit share count: at most this
+  /// many snapshots can pool one `[count:15|validated:1|stamp:48]` word.
+  /// `acquire` never joins a saturated slot — the 32768th concurrent
+  /// claim on one clock value overflows safely into a fresh slot (and
+  /// the directory grows when none is free), so the count can neither
+  /// wrap into the validated bit nor lose references.
+  static constexpr std::uint64_t MaxSharersPerSlot =
+      (std::uint64_t{1} << 15) - 1;
+
   /// \p MinSlots seeds the slot directory (power of two; grows on
   /// demand when more snapshots are live concurrently).
   explicit SnapshotRegistry(std::size_t MinSlots);
@@ -150,7 +159,7 @@ private:
   /// Slot word layout: [refcount:15 | validated:1 | stamp:48].
   static constexpr std::uint64_t ValidatedBit = std::uint64_t{1} << StampBits;
   static constexpr std::uint64_t One = std::uint64_t{1} << (StampBits + 1);
-  static constexpr std::uint64_t MaxCount = (std::uint64_t{1} << 15) - 1;
+  static constexpr std::uint64_t MaxCount = MaxSharersPerSlot;
 
   static std::uint64_t packedStamp(std::uint64_t W) { return W & StampMask; }
   static bool packedValidated(std::uint64_t W) { return W & ValidatedBit; }

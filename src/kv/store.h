@@ -5,30 +5,43 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// `lfsmr::kv::Store<Scheme>`: a lock-free, sharded, *versioned*
+/// `lfsmr::kv::Store<Scheme, K, V>`: a lock-free, sharded, *versioned*
 /// key-value store built entirely on the public reclamation API
 /// (`lfsmr::domain` / `lfsmr::guard`). It is the library's serving-scale
 /// consumer: where the `src/ds/` containers each exercise one paper
 /// figure, the store exercises the reclamation schemes the way a real
 /// workload does — short hash operations, CAS-appended version chains
-/// that retire at write rate, and snapshot readers that pin history.
+/// that retire at write rate, snapshot readers that pin history, and
+/// bucket arrays that grow under load.
+///
+/// The store is assembled from three layers, each in its own header:
+///
+///   kv/codec.h        key/value payload codecs: uint64_t, trivially
+///                     copyable structs, owned byte-strings — variable
+///                     size payloads ride in the record's own allocation
+///   kv/shard_index.h  per-shard split-ordered key index: Michael-list
+///                     protocol + cooperative lock-free bucket growth
+///   kv/scan.h         snapshot-consistent whole-store scans + filters
 ///
 /// Shape:
 ///
-///   store ── shard[0..S) ── bucket[0..B) ── key chain (Michael list)
-///                                              │
-///                                         version chain (newest first)
-///                                  [stamp | value | tombstone] → older …
+///   store ── shard[0..S) ── split-ordered list (buckets = dummy nodes
+///                           in a grow-only directory)
+///                │
+///           key node ── version chain (newest first)
+///                        [stamp | value | tombstone] → older …
 ///
-///  - Buckets are Michael-style sorted chains of *key nodes* with the
-///    usual mark-bit unlink protocol (`find`).
+///  - Each shard keeps one sorted lock-free list of key nodes plus
+///    per-bucket dummy sentinels; growing the bucket array never moves a
+///    node (see `kv/shard_index.h` for the protocol and its rationale).
 ///  - Each key node owns a version chain: every `put`/`erase` CAS-appends
 ///    a fresh `[stamp | value]` node at the head. Stamps are drawn from
 ///    the store's `SnapshotRegistry` clock *after* publication
 ///    (publish-then-stamp); readers that meet a still-pending stamp help
 ///    assign it, which is what makes snapshot reads repeatable.
 ///  - A snapshot (`SnapshotHandle`) reads, for every key, the newest
-///    version whose stamp is at or below its validated clock value.
+///    version whose stamp is at or below its validated clock value;
+///    `scan` visits every binding in that cut (`kv/scan.h`).
 ///  - Writers trim the version-chain *suffix* past the oldest live
 ///    snapshot right after appending (no background thread): the chain
 ///    below the newest version any live snapshot can see is detached
@@ -37,21 +50,26 @@
 ///    key node entirely.
 ///
 /// Reclamation-mode selection is automatic: address-protecting schemes
-/// (HP) get intrusive nodes (scheme header first, a `Kind` tag
-/// dispatching the shared deleter); every other scheme runs the
-/// transparent allocation mode (`guard::create` / `retire(ptr)`, no
-/// header in the node types). All nine schemes — including HP — run the
-/// same store code.
+/// (HP) get intrusive nodes (scheme header first; records are trivially
+/// destructible by construction, so one raw-free deleter serves every
+/// node shape); every other scheme runs the transparent allocation mode
+/// (`guard::create` / `create_extended` / `retire(ptr)`, no header in
+/// the node types). All nine schemes — including HP — run the same
+/// store code.
 ///
-/// Protection-slot discipline (HP/HE): bucket `find` rotates slots 0–2
-/// exactly like `ds::ListOps`; version-chain walks rotate slots 3–4.
-/// `Options::Reclaim.NumHazards` is raised to at least 8.
+/// Protection-slot discipline (HP/HE): the index walk rotates slots 0–2
+/// exactly like `ds::ListOps`; version-chain walks rotate slots 3–4 and
+/// slot 5 pins a writer's own fresh version through the publish-then-
+/// stamp window. `Options::Reclaim.NumHazards` is raised to at least 8.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LFSMR_KV_STORE_H
 #define LFSMR_KV_STORE_H
 
+#include "kv/codec.h"
+#include "kv/scan.h"
+#include "kv/shard_index.h"
 #include "kv/snapshot_registry.h"
 #include "lfsmr/domain.h"
 #include "support/align.h"
@@ -61,7 +79,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <optional>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -74,28 +94,46 @@ struct Options {
   /// the store's chain walks hold up to six protections live).
   lfsmr::config Reclaim;
 
-  /// Shard count; rounded up to a power of two. Each shard owns an
-  /// independent, cache-padded bucket array.
+  /// Shard count; rounded up to a power of two (symmetrically with
+  /// `BucketsPerShard` — the applied value is visible via
+  /// `Store::options()`). Each shard owns an independent split-ordered
+  /// list and bucket directory.
   std::size_t Shards = 8;
 
-  /// Buckets per shard; rounded up to a power of two.
+  /// *Initial* buckets per shard; rounded up to a power of two. Each
+  /// shard's bucket directory doubles on demand (see `MaxLoadFactor`),
+  /// so this only sets the floor.
   std::size_t BucketsPerShard = 1024;
+
+  /// Cooperative-resize trigger: when a shard holds more than
+  /// `MaxLoadFactor * buckets` keys, the writer that crossed the line
+  /// doubles the shard's bucket directory (readers never block; new
+  /// buckets materialize lazily). 0 disables growth.
+  std::size_t MaxLoadFactor = 4;
 
   /// Initial snapshot-slot count (power of two). The slot directory
   /// grows lock-free when more snapshots are live concurrently.
   std::size_t MinSnapshotSlots = 8;
 };
 
-/// Sharded, versioned KV store with snapshot reads, generic over the
-/// reclamation scheme \p Scheme. Keys and values are 64-bit integers
-/// (matching the library's container lineup). Immovable; construct
-/// before the threads that use it, destroy after they quiesce.
-template <typename Scheme> class Store {
+/// Sharded, versioned KV store with snapshot reads and scans, generic
+/// over the reclamation scheme \p Scheme and the key/value types
+/// \p K / \p V (`std::uint64_t` by default; any type with a `kv::Codec`
+/// — trivially copyable structs and `std::string` out of the box).
+/// Immovable; construct before the threads that use it, destroy after
+/// they quiesce.
+template <typename Scheme, typename K = std::uint64_t,
+          typename V = std::uint64_t>
+class Store {
 public:
-  /// Key type (Fibonacci-hashed onto shards and buckets).
-  using key_type = std::uint64_t;
+  /// Key type.
+  using key_type = K;
   /// Value type.
-  using value_type = std::uint64_t;
+  using value_type = V;
+  /// Borrowed key view handed to scan visitors.
+  using key_view = typename Codec<K>::view_type;
+  /// Borrowed value view handed to scan visitors.
+  using value_view = typename Codec<V>::view_type;
   /// The RAII guard all operations run under.
   using guard_type = lfsmr::guard<Scheme>;
 
@@ -103,26 +141,24 @@ public:
   /// therefore runs intrusive nodes instead of transparent allocation.
   static constexpr bool IntrusiveMode = detail::protectsAddresses<Scheme>;
 
-  /// Builds the store: shard/bucket arrays, the snapshot registry, and
-  /// one reclamation domain in the mode \p Scheme supports.
+  /// Builds the store: the shard index, the snapshot registry, and one
+  /// reclamation domain in the mode \p Scheme supports.
   explicit Store(const Options &O = {})
       : Opt(normalize(O)), Registry(Opt.MinSnapshotSlots),
-        ShardBits(floorLog2(Opt.Shards)), BucketMask(Opt.BucketsPerShard - 1) {
+        ShardBits(floorLog2(Opt.Shards)) {
     if constexpr (IntrusiveMode)
       Dom.emplace(Opt.Reclaim, &Store::deleteNode, nullptr);
     else
       Dom.emplace(Opt.Reclaim);
-    Shards.reset(new ShardState[Opt.Shards]);
-    for (std::size_t S = 0; S < Opt.Shards; ++S) {
-      Shards[S].Buckets.reset(
-          new std::atomic<std::uintptr_t>[Opt.BucketsPerShard]);
-      for (std::size_t B = 0; B < Opt.BucketsPerShard; ++B)
-        Shards[S].Buckets[B].store(0, std::memory_order_relaxed);
-    }
+    Index.reset(
+        new Index_t(*this, Opt.Shards, Opt.BucketsPerShard, Opt.MaxLoadFactor));
+    auto G = Dom->enter(0);
+    for (std::size_t S = 0; S < Opt.Shards; ++S)
+      Index->attachRoot(G, S);
   }
 
-  /// Drains every key and version node. Concurrent access must have
-  /// ceased and every snapshot handle must have been destroyed or
+  /// Drains every key, version, and dummy node. Concurrent access must
+  /// have ceased and every snapshot handle must have been destroyed or
   /// `reset()` — a handle merely left unused still releases into the
   /// store-owned registry when it is eventually destroyed, which would
   /// then be freed memory.
@@ -130,70 +166,85 @@ public:
     assert(Registry.liveSnapshots() == 0 &&
            "destroy or reset() every kv::snapshot before the store");
     auto G = Dom->enter(0);
-    for (std::size_t S = 0; S < Opt.Shards; ++S)
-      for (std::size_t B = 0; B < Opt.BucketsPerShard; ++B) {
-        std::uintptr_t Raw =
-            Shards[S].Buckets[B].load(std::memory_order_relaxed);
-        while (KNode *KN = toK(Raw)) {
-          std::uintptr_t V =
+    for (std::size_t S = 0; S < Opt.Shards; ++S) {
+      std::uintptr_t Raw = Index->root(S);
+      while (Raw & ~Tag) {
+        LinkPart *L = linkOf(Raw);
+        const std::uintptr_t Next = L->Next.load(std::memory_order_relaxed);
+        if (L->SoKey & 1) {
+          KNode *KN = toK(Raw);
+          std::uintptr_t VW =
               kr(KN).VHead.load(std::memory_order_relaxed) & ~Tag;
-          while (VNode *VN = toV(V)) {
-            V = vr(VN).Older.load(std::memory_order_relaxed);
+          while (VNode *VN = toV(VW)) {
+            VW = vr(VN).Older.load(std::memory_order_relaxed);
             discardVersion(G, VN);
           }
-          Raw = kr(KN).Next.load(std::memory_order_relaxed) & ~Tag;
           discardKey(G, KN);
+        } else {
+          discardDummy(G, Raw & ~Tag);
         }
+        Raw = Next & ~Tag;
       }
+    }
   }
 
   Store(const Store &) = delete;
   Store &operator=(const Store &) = delete;
 
-  /// Inserts or replaces the binding for \p K, appending a new version.
-  /// Returns true when \p K had no live binding (fresh insert or
-  /// insert over a tombstone). Trims the version-chain suffix past the
-  /// oldest live snapshot before returning.
-  bool put(thread_id Tid, key_type K, value_type V) {
+  /// Inserts or replaces the binding for \p Key, appending a new
+  /// version. Returns true when \p Key had no live binding (fresh insert
+  /// or insert over a tombstone). Trims the version-chain suffix past
+  /// the oldest live snapshot before returning.
+  bool put(thread_id Tid, const K &Key, const V &Val) {
     auto G = Dom->enter(Tid);
-    return write(G, K, V, /*Tombstone=*/false);
+    return write(G, Key, &Val, /*Tombstone=*/false);
   }
 
-  /// Removes the binding for \p K by appending a tombstone version (so
+  /// Removes the binding for \p Key by appending a tombstone version (so
   /// older snapshots keep seeing the previous value). Returns false when
-  /// \p K had no live binding. Once no snapshot can see anything but the
-  /// tombstone, the key node itself is unlinked and retired.
-  bool erase(thread_id Tid, key_type K) {
+  /// \p Key had no live binding. Once no snapshot can see anything but
+  /// the tombstone, the key node itself is unlinked and retired.
+  bool erase(thread_id Tid, const K &Key) {
     auto G = Dom->enter(Tid);
-    return write(G, K, 0, /*Tombstone=*/true);
+    return write(G, Key, nullptr, /*Tombstone=*/true);
   }
 
-  /// Latest-value read: the newest version of \p K, or nullopt when the
-  /// key is absent or tombstoned.
-  std::optional<value_type> get(thread_id Tid, key_type K) {
+  /// Latest-value read: the newest version of \p Key, or nullopt when
+  /// the key is absent or tombstoned.
+  std::optional<V> get(thread_id Tid, const K &Key) {
     auto G = Dom->enter(Tid);
-    Position Pos = find(G, bucket(K), K);
+    const std::uint64_t H = Codec<K>::hash(Key);
+    const Probe P{itemSoKey(H), &Key};
+    const typename Index_t::Position Pos =
+        Index->find(G, shardOf(H), H, P, /*InitBuckets=*/false);
     if (!Pos.Found)
       return std::nullopt;
-    const std::uintptr_t H = G.protect_link(kr(Pos.Curr).VHead, VSlotA);
-    if (H & Tag)
+    KNode *KN = toK(Pos.CurrRaw);
+    const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+    if (Hd & Tag)
       return std::nullopt; // key logically removed
-    VNode *Head = toV(H);
+    VNode *Head = toV(Hd);
     if (!Head || vr(Head).Tombstone)
       return std::nullopt;
-    return vr(Head).Val;
+    return Codec<V>::decode(vr(Head).Val);
   }
 
-  /// Snapshot read: the newest version of \p K whose stamp is at or
+  /// Snapshot read: the newest version of \p Key whose stamp is at or
   /// below \p Snap's validated clock value. Repeatable: two reads of the
   /// same key through the same snapshot return the same result.
-  std::optional<value_type> get(thread_id Tid, key_type K,
-                                const SnapshotHandle &Snap) {
+  std::optional<V> get(thread_id Tid, const K &Key,
+                       const SnapshotHandle &Snap) {
     auto G = Dom->enter(Tid);
-    Position Pos = find(G, bucket(K), K);
+    const std::uint64_t H = Codec<K>::hash(Key);
+    const Probe P{itemSoKey(H), &Key};
+    const typename Index_t::Position Pos =
+        Index->find(G, shardOf(H), H, P, /*InitBuckets=*/false);
     if (!Pos.Found)
       return std::nullopt;
-    return readAt(G, Pos.Curr, Snap.version());
+    VNode *VN = readAt(G, toK(Pos.CurrRaw), Snap.version());
+    if (!VN)
+      return std::nullopt;
+    return Codec<V>::decode(vr(VN).Val);
   }
 
   /// Opens a snapshot of the whole store at the current version clock.
@@ -205,15 +256,34 @@ public:
   SnapshotHandle open_snapshot() { return SnapshotHandle(Registry); }
 
   /// Scans every binding visible at \p Snap, invoking
-  /// `Fn(key, value)`. Keys arrive in unspecified order; the callback
-  /// runs under an open guard, so it must not block. Bindings mutated
-  /// concurrently are reported as of the snapshot.
+  /// `Fn(key_view, value_view)` with *borrowed* views valid only inside
+  /// the call. Keys arrive in unspecified order; the callback runs under
+  /// an open guard, so it must not block. Consistent across concurrent
+  /// writes *and bucket growth*: resizes never move a key node, so the
+  /// snapshot cut is exact (see `kv/scan.h` for the argument).
+  template <typename F>
+  void scan(thread_id Tid, const SnapshotHandle &Snap, F &&Fn) {
+    scanFiltered(Tid, Snap.version(), MatchAll{}, std::forward<F>(Fn));
+  }
+
+  /// `scan` restricted to byte-string keys starting with \p Prefix.
+  /// Only available when \p K is carried by a byte-string codec.
+  template <typename F>
+  void scan_prefix(thread_id Tid, const SnapshotHandle &Snap,
+                   std::string_view Prefix, F &&Fn) {
+    static_assert(IsBytesCodec<K>,
+                  "scan_prefix requires a byte-string key type");
+    scanFiltered(Tid, Snap.version(), PrefixFilter{Prefix},
+                 std::forward<F>(Fn));
+  }
+
+  /// Scans every binding visible at \p Snap, invoking `Fn(key, value)`
+  /// with *owned* copies (decoded through the codecs); the convenience
+  /// sibling of `scan` for callers that store the results.
   template <typename F>
   void for_each(thread_id Tid, const SnapshotHandle &Snap, F &&Fn) {
-    const std::uint64_t At = Snap.version();
-    forEachKeyNode(Tid, [&](guard_type &G, KNode *KN) {
-      if (std::optional<value_type> V = readAt(G, KN, At))
-        Fn(kr(KN).Key, *V);
+    scan(Tid, Snap, [&](key_view KeyV, value_view ValV) {
+      Fn(K(KeyV), V(ValV));
     });
   }
 
@@ -222,15 +292,26 @@ public:
   /// settled tombstone. Writers already trim as they go; this exists for
   /// read-mostly phases and for deterministic accounting in tests.
   void compact(thread_id Tid) {
-    std::vector<key_type> Keys;
-    forEachKeyNode(Tid, [&](guard_type &, KNode *KN) {
-      Keys.push_back(kr(KN).Key);
-    });
-    for (const key_type K : Keys) {
+    std::vector<K> Keys;
+    // One guard per shard (not one across the sweep): a single pinned
+    // era over the whole collection would hold back reclamation of
+    // everything retired domain-wide while it runs.
+    for (std::size_t S = 0; S < Opt.Shards; ++S) {
       auto G = Dom->enter(Tid);
-      Position Pos = find(G, bucket(K), K);
+      scanShardList(G, Index->root(S),
+                    [this](std::uintptr_t R) { return linkOf(R); },
+                    [&](std::uintptr_t R) {
+                      Keys.push_back(K(Codec<K>::view(kr(toK(R)).Key)));
+                    });
+    }
+    for (const K &Key : Keys) {
+      auto G = Dom->enter(Tid);
+      const std::uint64_t H = Codec<K>::hash(Key);
+      const Probe P{itemSoKey(H), &Key};
+      const typename Index_t::Position Pos =
+          Index->find(G, shardOf(H), H, P, /*InitBuckets=*/false);
       if (Pos.Found)
-        trimChain(G, Pos.Curr, K);
+        trimChain(G, toK(Pos.CurrRaw), shardOf(H), H, P);
     }
   }
 
@@ -243,16 +324,42 @@ public:
   /// Allocation/retire/free accounting of the store's domain.
   memory_stats stats() const { return Dom->stats(); }
 
-  /// Length of \p K's version chain (0 when absent). Test/introspection
-  /// hook; O(chain), racy under concurrent writes.
-  std::size_t version_count(thread_id Tid, key_type K) {
+  /// The normalized construction options actually applied: `Shards`,
+  /// `BucketsPerShard`, and `MinSnapshotSlots` rounded up to powers of
+  /// two, `Reclaim.NumHazards` raised to the store's floor.
+  const Options &options() const { return Opt; }
+
+  /// Shard count (normalized; power of two).
+  std::size_t shards() const { return Opt.Shards; }
+
+  /// Current bucket count of shard \p S (monotone under load).
+  std::size_t buckets(std::size_t S) const { return Index->buckets(S); }
+
+  /// Approximate number of key nodes in shard \p S (exact at
+  /// quiescence; logically-dead keys count until physically unlinked).
+  std::int64_t shard_keys(std::size_t S) const { return Index->items(S); }
+
+  /// Live dummy (bucket sentinel) nodes across all shards — the gap
+  /// between `stats().allocated` and `stats().retired` at quiescence for
+  /// an emptied store. Exact at quiescence.
+  std::int64_t dummy_nodes() const {
+    return Dummies.load(std::memory_order_relaxed);
+  }
+
+  /// Length of \p Key's version chain (0 when absent). Test /
+  /// introspection hook; O(chain), racy under concurrent writes.
+  std::size_t version_count(thread_id Tid, const K &Key) {
     auto G = Dom->enter(Tid);
-    Position Pos = find(G, bucket(K), K);
+    const std::uint64_t H = Codec<K>::hash(Key);
+    const Probe P{itemSoKey(H), &Key};
+    const typename Index_t::Position Pos =
+        Index->find(G, shardOf(H), H, P, /*InitBuckets=*/false);
     if (!Pos.Found)
       return 0;
     std::size_t N = 0;
     unsigned A = VSlotA, B = VSlotB;
-    std::uintptr_t Raw = G.protect_link(kr(Pos.Curr).VHead, A) & ~Tag;
+    std::uintptr_t Raw =
+        G.protect_link(kr(toK(Pos.CurrRaw)).VHead, A) & ~Tag;
     while (VNode *VN = toV(Raw)) {
       ++N;
       Raw = G.protect_link(vr(VN).Older, B);
@@ -274,68 +381,103 @@ public:
 
 private:
   //===------------------------------------------------------------------===//
-  // Node layout — transparent records, or intrusive envelopes for HP
+  // Node layout — codec-shaped records, or intrusive envelopes for HP
   //===------------------------------------------------------------------===//
 
-  /// Low bit of `VHead` marks a logically removed key; low bit of a key
-  /// node's `Next` marks it for bucket unlink (Michael's protocol).
+  /// Low bit of `VHead` marks a logically removed key; low bit of a
+  /// node's `Next` marks it for list unlink (Michael's protocol, owned
+  /// by the shard index).
   static constexpr std::uintptr_t Tag = 1;
 
-  /// Protection slots for version-chain walks (bucket `find` owns 0–2).
+  /// Protection slots for version-chain walks (the index walk owns 0–2).
   static constexpr unsigned VSlotA = 3, VSlotB = 4;
 
   /// Slot holding the writer's own freshly appended version through the
   /// publish-then-stamp window.
   static constexpr unsigned VSlotSelf = 5;
 
-  /// One version: stamp (Pending until resolved), payload, and the link
-  /// to the next older version. Immutable once stamped, except `Older`,
-  /// which trimmers `exchange` to take ownership of the suffix.
+  /// One version: stamp (Pending until resolved), the link to the next
+  /// older version, and the codec-shaped payload (variable-size payloads
+  /// ride in the record's trailing suffix). Immutable once stamped,
+  /// except `Older`, which trimmers `exchange` to take ownership of the
+  /// suffix.
   struct VersionRec {
     std::atomic<std::uint64_t> Stamp{SnapshotRegistry::Pending};
-    std::uint64_t Val;
-    bool Tombstone;
     std::atomic<std::uintptr_t> Older;
+    bool Tombstone;
+    typename Codec<V>::storage_type Val; // last: trailing bytes follow
 
-    VersionRec(std::uint64_t V, bool Tomb, std::uintptr_t Old)
-        : Val(V), Tombstone(Tomb), Older(Old) {}
+    VersionRec(bool Tomb, std::uintptr_t Old)
+        : Older(Old), Tombstone(Tomb) {}
   };
 
-  /// One key: the bucket-chain link and the version-chain head.
+  /// One key: the split-order link prefix, the version-chain head, and
+  /// the codec-shaped key payload (last, for the same trailing-suffix
+  /// reason).
   struct KeyRec {
-    std::uint64_t Key;
+    LinkPart L;
     std::atomic<std::uintptr_t> VHead;
-    std::atomic<std::uintptr_t> Next{0};
+    typename Codec<K>::storage_type Key; // last: trailing bytes follow
 
-    KeyRec(std::uint64_t K, std::uintptr_t Head) : Key(K), VHead(Head) {}
+    KeyRec(std::uint64_t So, std::uintptr_t Head) : L(So), VHead(Head) {}
   };
 
-  enum class NodeKind : std::uint8_t { Version, Key };
+  /// One bucket sentinel: just the link prefix. Never marked, never
+  /// retired while the store lives.
+  struct DummyRec {
+    LinkPart L;
 
-  /// Intrusive-mode common prefix: scheme header first (every scheme's
-  /// deleter recovers the node from the header address), then the kind
-  /// tag the shared deleter dispatches on.
+    explicit DummyRec(std::uint64_t So) : L(So) {}
+  };
+
+  static_assert(offsetof(KeyRec, L) == 0 && offsetof(DummyRec, L) == 0,
+                "the link prefix must head every list-resident record");
+  static_assert(std::is_trivially_destructible_v<VersionRec> &&
+                    std::is_trivially_destructible_v<KeyRec> &&
+                    std::is_trivially_destructible_v<DummyRec>,
+                "records are reclaimed by deleters that run no user code");
+
+  /// Intrusive-mode common prefix: the scheme header, sitting first so
+  /// every scheme's deleter recovers the node from the header address.
+  /// No kind tag is needed — all record shapes are trivially
+  /// destructible (asserted above), so `deleteNode` frees uniformly.
   struct IPrefix {
     typename Scheme::NodeHeader Hdr;
-    NodeKind Kind;
   };
 
   struct IVersionNode {
     IPrefix P;
     VersionRec R;
-    IVersionNode(std::uint64_t V, bool Tomb, std::uintptr_t Old)
-        : P{{}, NodeKind::Version}, R(V, Tomb, Old) {}
+    IVersionNode(bool Tomb, std::uintptr_t Old) : P{}, R(Tomb, Old) {}
   };
 
   struct IKeyNode {
     IPrefix P;
     KeyRec R;
-    IKeyNode(std::uint64_t K, std::uintptr_t Head)
-        : P{{}, NodeKind::Key}, R(K, Head) {}
+    IKeyNode(std::uint64_t So, std::uintptr_t Head) : P{}, R(So, Head) {}
+  };
+
+  struct IDummyNode {
+    IPrefix P;
+    DummyRec R;
+    explicit IDummyNode(std::uint64_t So) : P{}, R(So) {}
   };
 
   using VNode = std::conditional_t<IntrusiveMode, IVersionNode, VersionRec>;
   using KNode = std::conditional_t<IntrusiveMode, IKeyNode, KeyRec>;
+  using DNode = std::conditional_t<IntrusiveMode, IDummyNode, DummyRec>;
+
+  /// Offset of the link prefix inside a list-resident node (identical
+  /// for key and dummy nodes by construction).
+  static constexpr std::size_t linkOffset() {
+    if constexpr (IntrusiveMode) {
+      static_assert(offsetof(IKeyNode, R) == offsetof(IDummyNode, R),
+                    "key and dummy nodes must share the link offset");
+      return offsetof(IKeyNode, R);
+    } else {
+      return 0;
+    }
+  }
 
   static VersionRec &vr(VNode *N) {
     if constexpr (IntrusiveMode)
@@ -363,37 +505,62 @@ private:
     return reinterpret_cast<std::uintptr_t>(N);
   }
 
-  /// Intrusive-mode deleter shared by both node types.
-  static void deleteNode(void *Hdr, void * /*Ctx*/) {
-    auto *Pre = reinterpret_cast<IPrefix *>(Hdr);
-    if (Pre->Kind == NodeKind::Version)
-      delete reinterpret_cast<IVersionNode *>(Hdr);
-    else
-      delete reinterpret_cast<IKeyNode *>(Hdr);
+  /// Tag-stripped raw node word -> its list link prefix (key or dummy).
+  static LinkPart *linkOf(std::uintptr_t Raw) {
+    return reinterpret_cast<LinkPart *>((Raw & ~Tag) + linkOffset());
   }
 
-  VNode *makeVersion(guard_type &G, std::uint64_t V, bool Tomb,
+  /// First byte after the record — where a codec's trailing payload
+  /// lives (`create_extended` / oversized `operator new` sized it).
+  template <typename Node> static void *trailingOf(Node *N) {
+    return reinterpret_cast<char *>(N) + sizeof(Node);
+  }
+
+  /// Intrusive-mode deleter shared by all three node shapes. Nodes are
+  /// allocated with raw `operator new` (records may carry trailing
+  /// payload bytes), so this frees the same way — valid only because
+  /// nothing in any node needs a destructor.
+  static void deleteNode(void *Hdr, void * /*Ctx*/) {
+    static_assert(std::is_trivially_destructible_v<IVersionNode> &&
+                      std::is_trivially_destructible_v<IKeyNode> &&
+                      std::is_trivially_destructible_v<IDummyNode>,
+                  "intrusive nodes (incl. the scheme header) must be "
+                  "trivially destructible for the raw-free deleter");
+    ::operator delete(Hdr);
+  }
+
+  VNode *makeVersion(guard_type &G, const V *Val, bool Tomb,
                      std::uintptr_t Old) {
+    const std::size_t Extra = Val ? Codec<V>::trailingBytes(*Val) : 0;
+    VNode *N;
     if constexpr (IntrusiveMode) {
       static_assert(offsetof(IVersionNode, P) == 0 &&
-                        offsetof(IKeyNode, P) == 0,
+                        offsetof(IKeyNode, P) == 0 &&
+                        offsetof(IDummyNode, P) == 0,
                     "scheme header must sit at the start of the node");
-      auto *N = new IVersionNode(V, Tomb, Old);
+      N = new (::operator new(sizeof(IVersionNode) + Extra))
+          IVersionNode(Tomb, Old);
       G.init(&N->P.Hdr);
-      return N;
     } else {
-      return G.template create<VersionRec>(V, Tomb, Old);
+      N = G.template create_extended<VersionRec>(Extra, Tomb, Old);
     }
+    if (Val)
+      Codec<V>::encode(vr(N).Val, trailingOf(N), *Val);
+    return N;
   }
 
-  KNode *makeKey(guard_type &G, std::uint64_t K, std::uintptr_t Head) {
+  KNode *makeKey(guard_type &G, const K &Key, std::uint64_t So,
+                 std::uintptr_t Head) {
+    const std::size_t Extra = Codec<K>::trailingBytes(Key);
+    KNode *N;
     if constexpr (IntrusiveMode) {
-      auto *N = new IKeyNode(K, Head);
+      N = new (::operator new(sizeof(IKeyNode) + Extra)) IKeyNode(So, Head);
       G.init(&N->P.Hdr);
-      return N;
     } else {
-      return G.template create<KeyRec>(K, Head);
+      N = G.template create_extended<KeyRec>(Extra, So, Head);
     }
+    Codec<K>::encode(kr(N).Key, trailingOf(N), Key);
+    return N;
   }
 
   void retireVersion(guard_type &G, VNode *N) {
@@ -422,79 +589,49 @@ private:
   }
 
   //===------------------------------------------------------------------===//
-  // Sharding
+  // Shard index policy (consumed by kv::ShardIndex)
   //===------------------------------------------------------------------===//
 
-  struct alignas(CacheLineSize) ShardState {
-    std::unique_ptr<std::atomic<std::uintptr_t>[]> Buckets;
+  /// A key lookup probe: the split-order position plus the user key for
+  /// hash-collision tie-breaks (`Key == nullptr` marks a dummy probe).
+  struct Probe {
+    std::uint64_t SoKey;
+    const K *Key;
   };
 
-  static Options normalize(Options O) {
-    O.Shards = nextPowerOfTwo(O.Shards ? O.Shards : 1);
-    O.BucketsPerShard = nextPowerOfTwo(O.BucketsPerShard ? O.BucketsPerShard : 1);
-    O.MinSnapshotSlots = nextPowerOfTwo(O.MinSnapshotSlots ? O.MinSnapshotSlots : 1);
-    if (O.Reclaim.NumHazards < 8)
-      O.Reclaim.NumHazards = 8;
-    return O;
+  /// The probe locating bucket-dummy \p So (no user key).
+  static Probe dummyProbe(std::uint64_t So) { return Probe{So, nullptr}; }
+
+  /// Same-split-order-key order: dummy probes match the (unique) dummy;
+  /// item probes compare key payloads (two hashes differing only in the
+  /// top bit share a split-order key, so ties do not imply equal keys).
+  int compareTie(std::uintptr_t Raw, const Probe &P) const {
+    if (!P.Key)
+      return 0;
+    return Codec<K>::compare(kr(toK(Raw)).Key, *P.Key);
   }
 
-  std::atomic<std::uintptr_t> &bucket(key_type K) {
-    // Fibonacci hashing; shard from the top bits, bucket from the middle.
-    const std::uint64_t H = K * 0x9e3779b97f4a7c15ULL;
-    const std::size_t S = ShardBits ? (H >> (64 - ShardBits)) : 0;
-    return Shards[S].Buckets[(H >> 20) & BucketMask];
-  }
-
-  //===------------------------------------------------------------------===//
-  // Bucket chains (Michael's sorted list over key nodes)
-  //===------------------------------------------------------------------===//
-
-  /// A located key: the link that pointed at `Curr` and the first key
-  /// node with `Key >= K` (null at the tail).
-  struct Position {
-    std::atomic<std::uintptr_t> *PrevLink;
-    KNode *Curr;
-    std::uintptr_t NextRaw;
-    bool Found;
-  };
-
-  /// Michael's find over key nodes (mirrors `ds::ListOps::find`):
-  /// physically unlinks marked key nodes and retires them together with
-  /// their (frozen) version chain. Rotates protection slots 0–2.
-  Position find(guard_type &G, std::atomic<std::uintptr_t> &Head,
-                key_type K) {
-  Retry:
-    std::atomic<std::uintptr_t> *PrevLink = &Head;
-    unsigned CurrIdx = 0, NextIdx = 1, SpareIdx = 2;
-    std::uintptr_t CurrRaw = G.protect_link(*PrevLink, CurrIdx);
-    for (;;) {
-      KNode *Curr = toK(CurrRaw);
-      if (!Curr)
-        return Position{PrevLink, nullptr, 0, false};
-      const std::uintptr_t NextRaw = G.protect_link(kr(Curr).Next, NextIdx);
-      if (PrevLink->load(std::memory_order_acquire) != (CurrRaw & ~Tag))
-        goto Retry;
-      if (NextRaw & Tag) {
-        // Logically removed key: unlink; the CAS winner retires it.
-        std::uintptr_t Expected = CurrRaw & ~Tag;
-        if (!PrevLink->compare_exchange_strong(Expected, NextRaw & ~Tag,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_acquire))
-          goto Retry;
-        retireRemovedKey(G, Curr);
-        CurrRaw = NextRaw & ~Tag;
-        std::swap(CurrIdx, NextIdx);
-        continue;
-      }
-      if (kr(Curr).Key >= K)
-        return Position{PrevLink, Curr, NextRaw, kr(Curr).Key == K};
-      PrevLink = &kr(Curr).Next;
-      CurrRaw = NextRaw;
-      const unsigned Old = SpareIdx;
-      SpareIdx = CurrIdx;
-      CurrIdx = NextIdx;
-      NextIdx = Old;
+  /// Allocates and registers one bucket dummy.
+  std::uintptr_t makeDummy(guard_type &G, std::uint64_t So) {
+    DNode *N;
+    if constexpr (IntrusiveMode) {
+      N = new (::operator new(sizeof(IDummyNode))) IDummyNode(So);
+      G.init(&N->P.Hdr);
+    } else {
+      N = G.template create<DummyRec>(So);
     }
+    Dummies.fetch_add(1, std::memory_order_relaxed);
+    return reinterpret_cast<std::uintptr_t>(N);
+  }
+
+  /// Frees a dummy that lost the materialization race (never published).
+  void discardDummy(guard_type &G, std::uintptr_t Raw) {
+    Dummies.fetch_sub(1, std::memory_order_relaxed);
+    auto *N = reinterpret_cast<DNode *>(Raw & ~Tag);
+    if constexpr (IntrusiveMode)
+      G.discard(&N->P.Hdr);
+    else
+      G.discard(N);
   }
 
   /// Retires an unlinked key node and its version chain. Only the single
@@ -502,10 +639,11 @@ private:
   /// tombstone) is retired exactly once; the suffix links are *taken*
   /// with exchange because a trimmer that was mid-walk when the key died
   /// may still be detaching them concurrently.
-  void retireRemovedKey(guard_type &G, KNode *KN) {
-    const std::uintptr_t V =
+  void retireUnlinked(guard_type &G, std::uintptr_t Raw) {
+    KNode *KN = toK(Raw);
+    const std::uintptr_t VW =
         kr(KN).VHead.load(std::memory_order_acquire) & ~Tag;
-    if (VNode *HeadV = toV(V)) {
+    if (VNode *HeadV = toV(VW)) {
       std::uintptr_t Taken =
           vr(HeadV).Older.exchange(0, std::memory_order_seq_cst);
       while (VNode *X = toV(Taken)) {
@@ -516,6 +654,13 @@ private:
     }
     retireKey(G, KN);
   }
+
+  friend class ShardIndex<Store>;
+  using Index_t = ShardIndex<Store>;
+
+  //===------------------------------------------------------------------===//
+  // Version chains
+  //===------------------------------------------------------------------===//
 
   /// Keeps \p N (the version this writer is about to publish)
   /// dereferenceable through the publish-then-stamp window: once the CAS
@@ -530,51 +675,32 @@ private:
     (void)G.protect_link(Self, VSlotSelf);
   }
 
-  /// Freezes a dead key's bucket link (sets the mark bit) and lets a
-  /// find pass unlink and retire it. Idempotent; called by the thread
-  /// that dead-marked VHead and by any writer that runs into the dead
-  /// bit before the unlink happened.
-  void helpRemoveKey(guard_type &G, std::atomic<std::uintptr_t> &Head,
-                     KNode *KN, key_type K) {
-    std::uintptr_t S = kr(KN).Next.load(std::memory_order_acquire);
-    while (!(S & Tag) &&
-           !kr(KN).Next.compare_exchange_weak(S, S | Tag,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_acquire)) {
-    }
-    find(G, Head, K); // helping unlink + retire
-  }
-
-  //===------------------------------------------------------------------===//
-  // Version chains
-  //===------------------------------------------------------------------===//
-
-  /// Shared write path of put (Tomb=false) and erase (Tomb=true).
-  /// Returns true when the key had no live binding before this write.
-  bool write(guard_type &G, key_type K, value_type V, bool Tomb) {
-    std::atomic<std::uintptr_t> &Head = bucket(K);
+  /// Shared write path of put (Tomb=false, \p Val set) and erase
+  /// (Tomb=true, \p Val null). Returns true when the key had no live
+  /// binding before this write.
+  bool write(guard_type &G, const K &Key, const V *Val, bool Tomb) {
+    const std::uint64_t H = Codec<K>::hash(Key);
+    const std::size_t S = shardOf(H);
+    const Probe P{itemSoKey(H), &Key};
     VNode *FreshV = nullptr;
     KNode *FreshK = nullptr;
     bool Result = false;
     for (;;) {
-      Position Pos = find(G, Head, K);
+      const typename Index_t::Position Pos =
+          Index->find(G, S, H, P, /*InitBuckets=*/true);
       if (!Pos.Found) {
         if (Tomb)
           break; // erase of an absent key: no tombstone needed
         if (!FreshV)
-          FreshV = makeVersion(G, V, false, 0);
+          FreshV = makeVersion(G, Val, false, 0);
         else
           vr(FreshV).Older.store(0, std::memory_order_relaxed);
         if (!FreshK)
-          FreshK = makeKey(G, K, rawV(FreshV));
+          FreshK = makeKey(G, Key, P.SoKey, rawV(FreshV));
         else
           kr(FreshK).VHead.store(rawV(FreshV), std::memory_order_relaxed);
-        kr(FreshK).Next.store(rawK(Pos.Curr), std::memory_order_relaxed);
-        std::uintptr_t Expected = rawK(Pos.Curr);
         protectSelf(G, FreshV);
-        if (Pos.PrevLink->compare_exchange_strong(
-                Expected, rawK(FreshK), std::memory_order_seq_cst,
-                std::memory_order_acquire)) {
+        if (Index->insertAt(G, S, Pos, rawK(FreshK))) {
           // Publish-then-stamp: the version entered the structure above;
           // only now does it draw its clock value (helped by any racing
           // reader via resolve).
@@ -586,31 +712,31 @@ private:
         }
         continue;
       }
-      KNode *KN = Pos.Curr;
-      const std::uintptr_t H = G.protect_link(kr(KN).VHead, VSlotA);
-      if (H & Tag) {
+      KNode *KN = toK(Pos.CurrRaw);
+      const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+      if (Hd & Tag) {
         // Key is logically removed but not yet unlinked: help, then
         // retry (a put re-inserts a fresh key node; an erase finds
         // nothing).
-        helpRemoveKey(G, Head, KN, K);
+        Index->helpUnlink(G, S, Pos.CurrRaw, H, P);
         continue;
       }
-      VNode *HeadV = toV(H);
+      VNode *HeadV = toV(Hd);
       const bool WasLive = HeadV && !vr(HeadV).Tombstone;
       if (Tomb && !WasLive)
         break; // erasing an already-tombstoned key changes nothing
       if (!FreshV)
-        FreshV = makeVersion(G, V, Tomb, H);
+        FreshV = makeVersion(G, Val, Tomb, Hd);
       else
-        vr(FreshV).Older.store(H, std::memory_order_relaxed);
-      std::uintptr_t Expected = H;
+        vr(FreshV).Older.store(Hd, std::memory_order_relaxed);
+      std::uintptr_t Expected = Hd;
       protectSelf(G, FreshV);
       if (kr(KN).VHead.compare_exchange_strong(Expected, rawV(FreshV),
                                                std::memory_order_seq_cst,
                                                std::memory_order_seq_cst)) {
         Registry.resolve(vr(FreshV).Stamp);
         FreshV = nullptr;
-        trimChain(G, KN, K);
+        trimChain(G, KN, S, H, P);
         // put reports "key was absent", erase reports "key was present".
         Result = Tomb ? WasLive : !WasLive;
         break;
@@ -632,12 +758,13 @@ private:
   /// trimmers are safe: each link is exchanged (taken) at most once with
   /// a non-null result, so every node is retired exactly once. Finally,
   /// a chain reduced to a settled tombstone nobody can see dead-marks
-  /// the key and unlinks it from its bucket.
-  void trimChain(guard_type &G, KNode *KN, key_type K) {
-    const std::uintptr_t H = G.protect_link(kr(KN).VHead, VSlotA);
-    if (H & Tag)
+  /// the key and unlinks it from its shard list.
+  void trimChain(guard_type &G, KNode *KN, std::size_t S, std::uint64_t H,
+                 const Probe &P) {
+    const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+    if (Hd & Tag)
       return;
-    VNode *Cur = toV(H);
+    VNode *Cur = toV(Hd);
     if (!Cur)
       return;
     unsigned A = VSlotA, B = VSlotB;
@@ -667,7 +794,8 @@ private:
         break; // confirmed: nothing below Cur is visible to anyone
       Floor = Fresh; // an older snapshot surfaced: descend further
     }
-    std::uintptr_t Taken = vr(Cur).Older.exchange(0, std::memory_order_seq_cst);
+    std::uintptr_t Taken =
+        vr(Cur).Older.exchange(0, std::memory_order_seq_cst);
     while (VNode *X = toV(Taken)) {
       Taken = vr(X).Older.exchange(0, std::memory_order_seq_cst);
       retireVersion(G, X);
@@ -675,69 +803,88 @@ private:
     // Key removal: only when the chain head itself is the boundary, it
     // is a tombstone with a settled stamp no live (or future) snapshot
     // can miss, and it now has no older versions.
-    if (rawV(Cur) != (H & ~Tag) || !vr(Cur).Tombstone)
+    if (rawV(Cur) != (Hd & ~Tag) || !vr(Cur).Tombstone)
       return;
-    std::uintptr_t Expected = H;
-    if (kr(KN).VHead.compare_exchange_strong(Expected, H | Tag,
+    std::uintptr_t Expected = Hd;
+    if (kr(KN).VHead.compare_exchange_strong(Expected, Hd | Tag,
                                              std::memory_order_seq_cst,
                                              std::memory_order_seq_cst))
-      helpRemoveKey(G, bucket(K), KN, K);
+      Index->helpUnlink(G, S, rawK(KN), H, P);
   }
 
-  /// The snapshot read: newest version of \p KN with stamp <= \p At.
-  /// Pending stamps are resolved (helped) before the comparison, which
-  /// is what pins every version's visibility the first time any reader
-  /// meets it.
-  std::optional<value_type> readAt(guard_type &G, KNode *KN,
-                                   std::uint64_t At) {
-    const std::uintptr_t H = G.protect_link(kr(KN).VHead, VSlotA);
-    if (H & Tag)
-      return std::nullopt; // removed: every live snapshot saw the tombstone
-    VNode *Cur = toV(H);
+  /// The snapshot read: newest version of \p KN with stamp <= \p At,
+  /// or null when the key has no visible binding (absent, or tombstoned
+  /// at the cut). Pending stamps are resolved (helped) before the
+  /// comparison, which is what pins every version's visibility the
+  /// first time any reader meets it. The returned record stays protected
+  /// (slot A or B) until the next version-chain operation on this guard.
+  VNode *readAt(guard_type &G, KNode *KN, std::uint64_t At) {
+    const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+    if (Hd & Tag)
+      return nullptr; // removed: every live snapshot saw the tombstone
+    VNode *Cur = toV(Hd);
     unsigned A = VSlotA, B = VSlotB;
     while (Cur) {
       if (Registry.resolve(vr(Cur).Stamp) <= At) {
         if (vr(Cur).Tombstone)
-          return std::nullopt;
-        return vr(Cur).Val;
+          return nullptr;
+        return Cur;
       }
       const std::uintptr_t Nxt = G.protect_link(vr(Cur).Older, B);
       Cur = toV(Nxt);
       std::swap(A, B);
     }
-    return std::nullopt; // key did not exist yet at the snapshot
+    return nullptr; // key did not exist yet at the snapshot
   }
 
-  /// Read-only sweep over every live key node, one guard per bucket.
-  /// Marked (dead) keys are skipped — they are invisible to any live
-  /// snapshot by construction.
-  template <typename F> void forEachKeyNode(thread_id Tid, F &&Fn) {
-    for (std::size_t S = 0; S < Opt.Shards; ++S)
-      for (std::size_t B = 0; B < Opt.BucketsPerShard; ++B) {
-        auto G = Dom->enter(Tid);
-        unsigned CurrIdx = 0, NextIdx = 1, SpareIdx = 2;
-        std::uintptr_t CurRaw =
-            G.protect_link(Shards[S].Buckets[B], CurrIdx);
-        while (KNode *KN = toK(CurRaw)) {
-          const std::uintptr_t NextRaw =
-              G.protect_link(kr(KN).Next, NextIdx);
-          if (!(NextRaw & Tag))
-            Fn(G, KN);
-          CurRaw = NextRaw & ~Tag;
-          const unsigned Old = SpareIdx;
-          SpareIdx = CurrIdx;
-          CurrIdx = NextIdx;
-          NextIdx = Old;
-        }
-      }
+  /// Shared body of `scan`/`scan_prefix`: one split-ordered walk per
+  /// shard (slots 0–2), a snapshot cut per key (slots 3–4), the filter
+  /// on the borrowed key view.
+  template <typename Filter, typename F>
+  void scanFiltered(thread_id Tid, std::uint64_t At, Filter &&Keep,
+                    F &&Fn) {
+    for (std::size_t S = 0; S < Opt.Shards; ++S) {
+      auto G = Dom->enter(Tid);
+      scanShardList(G, Index->root(S),
+                    [this](std::uintptr_t R) { return linkOf(R); },
+                    [&](std::uintptr_t R) {
+                      KNode *KN = toK(R);
+                      key_view KeyV = Codec<K>::view(kr(KN).Key);
+                      if (!Keep(KeyV))
+                        return;
+                      if (VNode *VN = readAt(G, KN, At))
+                        Fn(KeyV, Codec<V>::view(vr(VN).Val));
+                    });
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Sharding
+  //===------------------------------------------------------------------===//
+
+  static Options normalize(Options O) {
+    O.Shards = nextPowerOfTwo(O.Shards ? O.Shards : 1);
+    O.BucketsPerShard =
+        nextPowerOfTwo(O.BucketsPerShard ? O.BucketsPerShard : 1);
+    O.MinSnapshotSlots =
+        nextPowerOfTwo(O.MinSnapshotSlots ? O.MinSnapshotSlots : 1);
+    if (O.Reclaim.NumHazards < 8)
+      O.Reclaim.NumHazards = 8;
+    return O;
+  }
+
+  /// Shard of hash \p H (its top bits; the bucket index uses the low
+  /// bits and the split-order key the full reversed hash).
+  std::size_t shardOf(std::uint64_t H) const {
+    return ShardBits ? static_cast<std::size_t>(H >> (64 - ShardBits)) : 0;
   }
 
   Options Opt;
   SnapshotRegistry Registry;
   const unsigned ShardBits;
-  const std::size_t BucketMask;
   std::optional<lfsmr::domain<Scheme>> Dom;
-  std::unique_ptr<ShardState[]> Shards;
+  std::unique_ptr<Index_t> Index;
+  std::atomic<std::int64_t> Dummies{0};
 };
 
 } // namespace lfsmr::kv

@@ -30,6 +30,9 @@ test -f "$PREFIX/include/lfsmr/version.h"
 test -f "$PREFIX/include/lfsmr/impl/core/hyaline.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/store.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/snapshot_registry.h"
+test -f "$PREFIX/include/lfsmr/impl/kv/codec.h"
+test -f "$PREFIX/include/lfsmr/impl/kv/shard_index.h"
+test -f "$PREFIX/include/lfsmr/impl/kv/scan.h"
 test -f "$PREFIX/lib/cmake/lfsmr/lfsmrConfig.cmake"
 test -f "$PREFIX/lib/cmake/lfsmr/lfsmrConfigVersion.cmake"
 
