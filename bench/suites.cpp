@@ -608,6 +608,212 @@ void runKvSuite(const CommandLine &Cmd, report::Report &Rep) {
 }
 
 //===----------------------------------------------------------------------===//
+// kv-snap-cycle: snapshot open/close fast-path latency (one-RMW acquire)
+//===----------------------------------------------------------------------===//
+
+/// Stride between latency-sampled cycles (power of two). Timing every
+/// cycle would let the clock calls dominate the thing being measured.
+constexpr uint64_t SnapLatStride = 64;
+
+/// Bounded per-thread latency reservoir: strided samples land in a ring
+/// once the cap is reached, so long runs keep late samples without
+/// unbounded memory.
+class LatReservoir {
+public:
+  void record(double Ns) {
+    if (Buf.size() < Cap) {
+      Buf.push_back(Ns);
+      return;
+    }
+    Buf[Next] = Ns;
+    Next = (Next + 1) % Cap;
+  }
+  const std::vector<double> &samples() const { return Buf; }
+
+private:
+  static constexpr std::size_t Cap = std::size_t{1} << 16;
+  std::vector<double> Buf;
+  std::size_t Next = 0;
+};
+
+double nsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One thread of a bare-registry open/close run: every cycle is an
+/// acquire+release pair; every SnapLatStride-th is timed. \p TickEvery
+/// (0 = never) advances the version clock from inside the cycle loop,
+/// which strands hints and forces the slow-path fallback — the churn
+/// panel's subject.
+uint64_t snapCycleWorker(kv::SnapshotRegistry &Reg, LatReservoir &Lat,
+                         uint64_t TickEvery, std::atomic<bool> &Stop) {
+  uint64_t Ops = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      if (TickEvery && (Ops % TickEvery) == 0)
+        Reg.tick();
+      if ((Ops & (SnapLatStride - 1)) == 0) {
+        const auto T0 = std::chrono::steady_clock::now();
+        const auto T = Reg.acquire();
+        Reg.release(T);
+        Lat.record(nsSince(T0));
+      } else {
+        const auto T = Reg.acquire();
+        Reg.release(T);
+      }
+    }
+  }
+  return Ops;
+}
+
+/// One bare-registry panel (scheme-independent, scheme "-"): open/close
+/// cycles on a shared SnapshotRegistry, p50/p99 per-cycle latency from
+/// the merged per-thread reservoirs of each repeat.
+void runSnapCyclePanel(const char *Panel, const char *Mix, uint64_t TickEvery,
+                       const SweepOptions &O, report::Report &Rep) {
+  for (const int64_t T : O.Threads) {
+    report::DataPoint Pt;
+    Pt.Suite = "kv-snap-cycle";
+    Pt.Panel = Panel;
+    Pt.Structure = "registry";
+    Pt.Mix = Mix;
+    Pt.Scheme = "-";
+    Pt.Threads = static_cast<unsigned>(T);
+    for (unsigned R = 0; R < O.Repeats; ++R) {
+      kv::SnapshotRegistry Reg(
+          std::max<std::size_t>(8, static_cast<std::size_t>(T)));
+      std::vector<LatReservoir> Lat(static_cast<std::size_t>(T));
+      double Mops = 0, Elapsed = 0;
+      uint64_t Ops = 0;
+      timedPhase(
+          static_cast<unsigned>(T), O.Secs,
+          [&](unsigned Tid, std::atomic<bool> &Stop) {
+            return snapCycleWorker(Reg, Lat[Tid], TickEvery, Stop);
+          },
+          Mops, Ops, Elapsed);
+      RunStats Merged;
+      for (const LatReservoir &L : Lat)
+        for (const double V : L.samples())
+          Merged.add(V);
+      Pt.Mops.add(Mops);
+      Pt.AvgUnreclaimed.add(0.0); // no allocation on this path
+      Pt.PeakUnreclaimed.add(0.0);
+      Pt.LatP50Ns.add(Merged.percentile(50));
+      Pt.LatP99Ns.add(Merged.percentile(99));
+      Pt.TotalOps += Ops;
+      Pt.WallSec += Elapsed;
+    }
+    Rep.addPoint(Pt);
+  }
+}
+
+/// The store-level panel: the kv snapshot read blend, but measuring the
+/// open+close cost of each snapshot burst (reads run between the two
+/// timed windows, untimed) — the fast path under a real mixed workload.
+template <typename S> struct KvSnapCycleOp {
+  static uint64_t worker(kv::Store<S> &Db, LatReservoir &Lat, unsigned Tid,
+                         uint64_t Seed, uint64_t KeyRange,
+                         std::atomic<bool> &Stop) {
+    Xoshiro256 Rng(Seed);
+    uint64_t Ops = 0;
+    while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+      for (unsigned I = 0; I < 64; ++I, ++Ops) {
+        const uint64_t K = Rng.nextBounded(KeyRange);
+        if ((Ops & 255) == 0) {
+          const auto T0 = std::chrono::steady_clock::now();
+          kv::snapshot Snap = Db.open_snapshot();
+          const double OpenNs = nsSince(T0);
+          for (unsigned J = 0; J < 32; ++J)
+            (void)Db.get(Tid, Rng.nextBounded(KeyRange), Snap);
+          const auto T1 = std::chrono::steady_clock::now();
+          Snap.reset();
+          Lat.record(OpenNs + nsSince(T1));
+          Ops += 32;
+        } else if (Rng.nextPercent(90)) {
+          (void)Db.get(Tid, K);
+        } else {
+          Db.put(Tid, K, K * 2);
+        }
+      }
+    }
+    return Ops;
+  }
+
+  static void run(const std::string &Scheme, const SweepOptions &O,
+                  report::Report &Rep) {
+    for (const int64_t T : O.Threads) {
+      report::DataPoint Pt;
+      Pt.Suite = "kv-snap-cycle";
+      Pt.Panel = "read-mix";
+      Pt.Structure = "kv";
+      Pt.Mix = "read";
+      Pt.Scheme = Scheme;
+      Pt.Threads = static_cast<unsigned>(T);
+      for (unsigned R = 0; R < O.Repeats; ++R) {
+        auto Db = std::make_unique<kv::Store<S>>(
+            KvSuiteOp<S>::pointOptions(static_cast<unsigned>(T), O.KeyRange));
+        for (uint64_t K = 0; K < O.Prefill; ++K)
+          Db->put(0, K, K * 2);
+        std::vector<LatReservoir> Lat(static_cast<std::size_t>(T));
+        double Mops = 0, Elapsed = 0;
+        uint64_t Ops = 0;
+        timedPhase(
+            static_cast<unsigned>(T), O.Secs,
+            [&](unsigned Tid, std::atomic<bool> &Stop) {
+              return worker(*Db, Lat[Tid],
+                            Tid, SplitMix64(O.Seed + R * 1024 + Tid).next(),
+                            O.KeyRange, Stop);
+            },
+            Mops, Ops, Elapsed);
+        RunStats Merged;
+        for (const LatReservoir &L : Lat)
+          for (const double V : L.samples())
+            Merged.add(V);
+        const memory_stats MS = Db->stats();
+        Pt.Mops.add(Mops);
+        Pt.AvgUnreclaimed.add(static_cast<double>(MS.unreclaimed));
+        Pt.PeakUnreclaimed.add(static_cast<double>(MS.unreclaimed));
+        Pt.LatP50Ns.add(Merged.percentile(50));
+        Pt.LatP99Ns.add(Merged.percentile(99));
+        Pt.TotalOps += Ops;
+        Pt.WallSec += Elapsed;
+      }
+      Rep.addPoint(Pt);
+    }
+  }
+};
+
+void runKvSnapCycleSuite(const CommandLine &Cmd, report::Report &Rep) {
+  SweepOptions O = parseSweep(Cmd);
+  // The fast path is a contention story: sweep 2..64 threads under
+  // --full (the acceptance sweep), a CI-sized pair otherwise.
+  const bool Full = Cmd.has("full");
+  const unsigned HW = std::thread::hardware_concurrency();
+  std::vector<int64_t> Def;
+  if (Full)
+    Def = {2, 4, 8, 16, 32, 64};
+  else
+    Def = {2, static_cast<int64_t>(HW ? HW : 4)};
+  O.Threads = Cmd.getIntList("threads", Def);
+  checkThreadList(O.Threads);
+
+  runSnapCyclePanel("open-close", "cycle", /*TickEvery=*/0, O, Rep);
+  runSnapCyclePanel("open-close-churn", "cycle-churn", /*TickEvery=*/1024, O,
+                    Rep);
+  for (const std::string &Scheme : O.Schemes)
+    dispatchScheme<KvSnapCycleOp>(Scheme, O, Rep);
+  Rep.note("kv-snap-cycle: open-close panels drive the bare "
+           "SnapshotRegistry (scheme-independent, scheme '-'); the churn "
+           "variant ticks the clock every 1024 cycles per thread to price "
+           "the slow-path fallback");
+  Rep.note("kv-snap-cycle: latency is per open+close pair, sampled every "
+           "64th cycle (every snapshot burst for read-mix); lat_p50_ns/"
+           "lat_p99_ns aggregate each repeat's sampled percentile");
+}
+
+//===----------------------------------------------------------------------===//
 // ablation: Hyaline Slots × MinBatch knob sweep (paper Section 3.2)
 //===----------------------------------------------------------------------===//
 
@@ -922,6 +1128,9 @@ const std::vector<Suite> &lfsmr::bench::allSuites() {
       {"bonsai", "Bonsai tree sweep (Fig. 13)", &runBonsaiSuite},
       {"kv", "versioned KV store: snapshot reads/scans, string keys, resize",
        &runKvSuite},
+      {"kv-snap-cycle",
+       "snapshot open/close latency: one-RMW fast path p50/p99",
+       &runKvSnapCycleSuite},
       {"enter-leave", "SMR primitive microbenchmarks (Section 3.2 costs)",
        &runEnterLeaveSuite},
       {"ablation", "Hyaline Slots x MinBatch knob sweep (Section 3.2)",

@@ -26,6 +26,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lfsmr::core {
 
@@ -36,10 +38,18 @@ public:
   static constexpr unsigned MaxArrays = 64;
 
   /// \p KMin must be a power of two; it is both the initial capacity and
-  /// the granularity of the first doubling.
+  /// the granularity of the first doubling. The precondition is enforced
+  /// even under NDEBUG: the floorLog2 addressing below silently maps
+  /// distinct indices onto the same slot for a non-power-of-two KMin, so
+  /// a violation is a hard error, not a recoverable one.
   explicit SlotDirectory(std::size_t KMin) : KMin(KMin), K(KMin) {
-    assert(KMin > 0 && (KMin & (KMin - 1)) == 0 &&
-           "initial slot count must be a power of two");
+    if (!isPowerOfTwo(KMin)) {
+      std::fprintf(stderr,
+                   "lfsmr: fatal: SlotDirectory initial slot count %zu is "
+                   "not a power of two\n",
+                   KMin);
+      std::abort();
+    }
     for (auto &A : Arrays)
       A.store(nullptr, std::memory_order_relaxed);
     Arrays[0].store(new T[KMin](), std::memory_order_relaxed);

@@ -148,10 +148,13 @@ public:
 
   /// One shard: the grow-only bucket directory (each slot holds a dummy
   /// node pointer, 0 = not yet materialized) and the item count driving
-  /// the load-factor trigger.
+  /// the load-factor trigger. The struct is line-aligned so shards never
+  /// share lines with each other, and `Items` — RMW'd by every insert
+  /// and erase — is padded onto its own line so the counter traffic
+  /// does not invalidate the directory words every find reads.
   struct alignas(CacheLineSize) Shard {
     core::SlotDirectory<std::atomic<std::uintptr_t>> Buckets;
-    std::atomic<std::int64_t> Items{0};
+    CachePadded<std::atomic<std::int64_t>> Items{std::int64_t{0}};
 
     explicit Shard(std::size_t MinBuckets) : Buckets(MinBuckets) {}
   };
@@ -202,7 +205,7 @@ public:
 
   /// Item count of shard \p S (approximate under concurrency).
   std::int64_t items(std::size_t S) const {
-    return Shards_[S].Items.load(std::memory_order_relaxed);
+    return Shards_[S].Items.Value.load(std::memory_order_relaxed);
   }
 
   /// Michael's find over shard \p S for \p P, starting from the deepest
@@ -234,7 +237,7 @@ public:
       return false;
     Shard &Sh = Shards_[S];
     const std::int64_t N =
-        Sh.Items.fetch_add(1, std::memory_order_relaxed) + 1;
+        Sh.Items.Value.fetch_add(1, std::memory_order_relaxed) + 1;
     maybeGrow(Sh, N);
     (void)G;
     return true;
@@ -348,7 +351,7 @@ private:
                                                std::memory_order_acq_rel,
                                                std::memory_order_acquire))
           goto Retry;
-        Sh.Items.fetch_sub(1, std::memory_order_relaxed);
+        Sh.Items.Value.fetch_sub(1, std::memory_order_relaxed);
         Pol.retireUnlinked(G, CurrRaw & ~Tag);
         CurrRaw = NextRaw & ~Tag;
         std::swap(CurrIdx, NextIdx);

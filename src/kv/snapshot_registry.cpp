@@ -6,48 +6,132 @@
 
 #include "kv/snapshot_registry.h"
 
-#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 
 namespace lfsmr::kv {
 
+namespace {
+
+/// Per-thread acquire state. `Registry`/`Slot` remember where the last
+/// acquire settled — the fast path's target. `ScanCursor` rotates the
+/// slow-path scan start so concurrent claimants spread across the
+/// directory instead of all hammering slot 0; it is seeded from this
+/// object's address (distinct per live thread) and advances once per
+/// slow acquire.
+struct ThreadHint {
+  const SnapshotRegistry *Registry = nullptr;
+  std::size_t Slot = 0;
+  std::size_t ScanCursor = 0;
+};
+
+ThreadHint &threadHint() {
+  thread_local ThreadHint H;
+  if (H.ScanCursor == 0) {
+    // SplitMix64 finisher over the per-thread address.
+    std::uint64_t Z = reinterpret_cast<std::uintptr_t>(&H);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    H.ScanCursor = static_cast<std::size_t>(Z ^ (Z >> 31)) | 1;
+  }
+  return H;
+}
+
+} // namespace
+
+void SnapshotRegistry::clockOverflow() {
+  std::fprintf(stderr,
+               "lfsmr: fatal: version clock exceeded 48 bits (stamp space "
+               "exhausted)\n");
+  std::abort();
+}
+
 SnapshotRegistry::SnapshotRegistry(std::size_t MinSlots)
-    : Slots(MinSlots ? MinSlots : 1) {}
+    : Slots(nextPowerOfTwo(MinSlots)) {}
 
 SnapshotRegistry::Ticket SnapshotRegistry::acquire() {
-  for (;;) {
-    std::uint64_t S = clock();
-    assert(S <= StampMask && "version clock exceeded 48 bits");
-    const std::size_t K = Slots.capacity();
+  const std::uint64_t S = clock();
+  checkStamp(S);
 
-    // Pass 1: share a slot already *validated* at this exact stamp (the
-    // Snapshots-repo idiom — readers of one clock value pool one
-    // refcounted word). Only validated words are joinable: a validation
-    // at stamp S proves the clock has never exceeded S (a later clock
-    // load returned S and the clock is monotone), so no trim with a
-    // floor above S has ever scanned; and the successful CAS proves the
-    // word still reads [n>=1 | validated | S], a state only a fresh
-    // validation at S can rebuild, so the proof survives release and
-    // re-claim of the slot in between. A published-but-unvalidated word
-    // gives no such guarantee (its owner's clock read may predate a
-    // trim entirely) and is never joined.
-    for (std::size_t I = 0; I < K; ++I) {
-      std::atomic<std::uint64_t> &Slot = Slots.slot(I);
+  // Fast path: one blind fetch_add on the slot this thread last used,
+  // verified after the fact. The pre-check load keeps doomed adds (and
+  // their undo RMWs) off words that visibly cannot match; the bounds
+  // check guards against a hint recorded on a previous registry that
+  // happened to live at this address.
+  ThreadHint &H = threadHint();
+  if (H.Registry == this && H.Slot < Slots.capacity()) {
+    std::atomic<std::uint64_t> &Slot = *Slots.slot(H.Slot);
+    const std::uint64_t W = Slot.load(std::memory_order_seq_cst);
+    if (packedValidated(W) && packedStamp(W) == S && packedCount(W) < MaxCount) {
+      const std::uint64_t Prior = Slot.fetch_add(One, std::memory_order_seq_cst);
+      // Accept iff the word we actually joined was still validated at S
+      // below the join bound, and the clock still reads S — the
+      // self-validating load (see the header): the reference is
+      // published, and the clock has never moved past S, so no trim can
+      // have removed the version visible at S. The validated bit alone
+      // proves nothing across release/re-claim (our own blind add can
+      // rebuild [1|validated|S] from a released residue word); the
+      // clock re-read is what makes the join sound.
+      if (packedValidated(Prior) && packedStamp(Prior) == S &&
+          packedCount(Prior) < MaxCount && clock() == S)
+        return Ticket{S, H.Slot};
+      Slot.fetch_sub(One, std::memory_order_seq_cst);
+      FastRejects.Value.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return slowAcquire(S);
+}
+
+SnapshotRegistry::Ticket SnapshotRegistry::slowAcquire(std::uint64_t S) {
+  SlowAcquires.Value.fetch_add(1, std::memory_order_relaxed);
+  ThreadHint &H = threadHint();
+  for (;;) {
+    checkStamp(S);
+    const std::size_t K = Slots.capacity();
+    const std::size_t Start = H.ScanCursor++ & (K - 1); // K is a power of two
+
+    // Pass 1: join a word already *validated* at this exact stamp.
+    // Like the fast path, a successful CAS is only a publication; the
+    // clock re-read below is the validation. On a stale clock the join
+    // is undone and the whole acquire restarts at the fresh value.
+    bool Stale = false;
+    for (std::size_t J = 0; J < K && !Stale; ++J) {
+      const std::size_t I = (Start + J) & (K - 1);
+      std::atomic<std::uint64_t> &Slot = *Slots.slot(I);
       std::uint64_t W = Slot.load(std::memory_order_seq_cst);
-      if (packedValidated(W) && packedStamp(W) == S && packedCount(W) != 0 &&
+      if (packedValidated(W) && packedStamp(W) == S &&
           packedCount(W) < MaxCount &&
           Slot.compare_exchange_strong(W, W + One, std::memory_order_seq_cst,
-                                       std::memory_order_seq_cst))
-        return Ticket{S, I};
+                                       std::memory_order_seq_cst)) {
+        if (clock() == S) {
+          H.Registry = this;
+          H.Slot = I;
+          return Ticket{S, I};
+        }
+        Slot.fetch_sub(One, std::memory_order_seq_cst);
+        Stale = true;
+      }
+    }
+    if (Stale) {
+      S = clock();
+      continue;
     }
 
-    // Pass 2: claim a free slot and publish-then-validate. The loop
-    // settles once the clock holds still across one publish; every
-    // iteration of the retry means a writer advanced the clock
-    // (system-wide progress), so this is lock-free. While the word is
-    // unvalidated, the owner is its only writer (sharers skip it,
-    // claimants require count 0), so the owner's CASes cannot fail.
-    for (std::size_t I = 0; I < K; ++I) {
-      std::atomic<std::uint64_t> &Slot = Slots.slot(I);
+    // Pass 2: claim a free slot and publish-then-validate. The claim
+    // CAS requires the exact pre-read word with count 0, so it cannot
+    // race a fast-path add (any count change fails it). While the word
+    // is unvalidated the owner is the only writer of its *stamp* field,
+    // but fast-path joiners may transiently bump the *count* before
+    // their verification rejects the word — so the validate and
+    // re-stamp steps below are CAS loops that carry the current count,
+    // not exact-expected CASes. Each interfering thread backs out and
+    // leaves for the slow path, so the loops terminate. The outer
+    // retry-on-clock-move is lock-free: every iteration means a writer
+    // advanced the clock (system-wide progress).
+    for (std::size_t J = 0; J < K; ++J) {
+      const std::size_t I = (Start + J) & (K - 1);
+      std::atomic<std::uint64_t> &Slot = *Slots.slot(I);
       std::uint64_t W = Slot.load(std::memory_order_seq_cst);
       if (packedCount(W) != 0)
         continue;
@@ -57,28 +141,28 @@ SnapshotRegistry::Ticket SnapshotRegistry::acquire() {
         continue; // raced; try the next slot
       for (;;) {
         const std::uint64_t Now = clock();
+        checkStamp(Now);
         if (Now == S) {
           // Published value is current: from here on every trim scan
           // sees it, and no trim before the publish can have run with
-          // the clock past S. Setting the validated bit opens the slot
-          // for sharing. The fence-strength loads also make every
-          // version CAS-published before a stamp <= S visible to this
-          // thread's subsequent chain walks.
-          std::uint64_t Expect = pack(1, S);
-          [[maybe_unused]] const bool Ok = Slot.compare_exchange_strong(
-              Expect, pack(1, S) | ValidatedBit, std::memory_order_seq_cst,
-              std::memory_order_seq_cst);
-          assert(Ok && "unvalidated slot word had a second writer");
+          // the clock past S. Setting the validated bit freezes the
+          // stamp field and opens the slot for sharing.
+          std::uint64_t Cur = Slot.load(std::memory_order_seq_cst);
+          while (!Slot.compare_exchange_weak(Cur, Cur | ValidatedBit,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_seq_cst)) {
+          }
+          H.Registry = this;
+          H.Slot = I;
           return Ticket{S, I};
         }
-        assert(Now <= StampMask && "version clock exceeded 48 bits");
         // Clock moved during validation: swap our published stamp for
-        // the newer one and re-validate.
-        std::uint64_t Expect = pack(1, S);
-        [[maybe_unused]] const bool Ok = Slot.compare_exchange_strong(
-            Expect, pack(1, Now), std::memory_order_seq_cst,
-            std::memory_order_seq_cst);
-        assert(Ok && "unvalidated slot word had a second writer");
+        // the newer one (keeping any transient count) and re-validate.
+        std::uint64_t Cur = Slot.load(std::memory_order_seq_cst);
+        while (!Slot.compare_exchange_weak(Cur, pack(packedCount(Cur), Now),
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_seq_cst)) {
+        }
         S = Now;
       }
     }
@@ -90,7 +174,7 @@ SnapshotRegistry::Ticket SnapshotRegistry::acquire() {
 }
 
 void SnapshotRegistry::release(const Ticket &T) {
-  Slots.slot(T.Slot).fetch_sub(One, std::memory_order_seq_cst);
+  (*Slots.slot(T.Slot)).fetch_sub(One, std::memory_order_seq_cst);
 }
 
 std::uint64_t SnapshotRegistry::minLive() const {
@@ -98,10 +182,14 @@ std::uint64_t SnapshotRegistry::minLive() const {
   // Capacity first, then the slots: a slot claimed in an array this scan
   // does not cover was published after the capacity read; the trimmer's
   // confirm loop (a later scan ordered after the boundary stamp settled)
-  // is what catches those late publishers.
+  // is what catches those late publishers. Transient fast-path counts
+  // (a blind add awaiting its undo) can only make this scan *more*
+  // conservative — they add references at stamps the clock held
+  // recently, never resurrect protection the snapshot's owner released.
   const std::size_t K = Slots.capacity();
   for (std::size_t I = 0; I < K; ++I) {
-    const std::uint64_t W = Slots.slot(I).load(std::memory_order_seq_cst);
+    const std::uint64_t W =
+        (*Slots.slot(I)).load(std::memory_order_seq_cst);
     if (packedCount(W) != 0 && packedStamp(W) < Min)
       Min = packedStamp(W);
   }
@@ -113,7 +201,7 @@ std::size_t SnapshotRegistry::liveSnapshots() const {
   std::size_t Live = 0;
   for (std::size_t I = 0; I < K; ++I)
     Live += static_cast<std::size_t>(
-        packedCount(Slots.slot(I).load(std::memory_order_seq_cst)));
+        packedCount((*Slots.slot(I)).load(std::memory_order_seq_cst)));
   return Live;
 }
 

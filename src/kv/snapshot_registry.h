@@ -13,31 +13,55 @@
 /// oldest stamp any live snapshot still needs and trim version chains
 /// past it.
 ///
-/// The slot protocol borrows two ideas from the retrieved related work:
+/// The slot protocol combines three ideas from the related work:
 ///
-///  - the *refcounted-handle word* of PalmerHogen/Snapshots: each slot is
-///    one atomic word packing `[refcount:15 | validated:1 | stamp:48]`,
-///    so acquiring and releasing a handle are single RMWs and concurrent
-///    readers of the same clock value share one slot;
+///  - the *refcounted-handle word*: each slot is one atomic word packing
+///    `[refcount:15 | validated:1 | stamp:48]`, so acquiring and
+///    releasing a reference are single RMWs and concurrent readers of
+///    the same clock value share one slot;
 ///  - the *publish-then-validate* loop of the era-based reclamation
-///    schemes (HE, Hyaline-S): after publishing a stamp the opener
-///    re-reads the clock and retries until the published value is the
-///    current one, which closes the classic race between reading the
-///    clock and announcing the read (a writer that advanced the clock
-///    and trimmed in between forces a retry; see `acquire`).
+///    schemes (HE, Hyaline-S): publishing a stamp only protects a
+///    snapshot once a later clock read returns the published value,
+///    which closes the classic race between reading the clock and
+///    announcing the read;
+///  - the *blind fetch_add join* of the atomsnap control word: the
+///    common-case open is a single `fetch_add` on the last slot this
+///    thread used, verified after the fact, with an undo `fetch_sub`
+///    and a slow-path fallback when the post-increment check fails.
 ///
-/// The validated bit is what makes slot *sharing* sound: only the slot's
-/// owner may rewrite an unvalidated word, and sharers join exclusively
-/// validated ones. A successful validation (clock still equal to the
-/// published stamp) proves the clock has never moved past that stamp, so
-/// no trim with a higher floor can have happened yet — and any word that
-/// reads `[n>=1 | validated | s]` can only have been rebuilt through a
-/// fresh validation at `s`, so the proof survives release/re-claim ABA.
+/// Every join — fast or slow — is *self-validating*: after adding its
+/// reference at stamp `s`, the joiner re-reads the clock and accepts
+/// only if it still equals `s`. That one load is the entire soundness
+/// argument. Publication (the add) precedes the load in the seq_cst
+/// total order, so (a) any trim scan ordered after the load sees the
+/// reference and computes a floor <= `s`, and (b) any trim ordered
+/// before it ran while the clock had never exceeded `s`, when every
+/// settled stamp was <= `s` — such a trim keeps the newest version at
+/// or below its floor's boundary, which is exactly the version visible
+/// at `s`. Versions enter chains with a Pending stamp and settle only
+/// through a `tick`, so anything that settles after the validating load
+/// resolves above `s` and was never visible to the snapshot.
+///
+/// Because joins self-validate, the validated bit carries *no*
+/// cross-release ABA proof (the blind add can momentarily rebuild
+/// `[1|validated|s]` out of a released residue word without any
+/// validation having happened). The bit now means exactly one thing:
+/// the stamp field is frozen. An unvalidated word's stamp may still be
+/// rewritten by the slot's owner (the publish-then-validate loop), so
+/// joiners reject it; once the bit is set, the stamp can only change
+/// after the count returns to zero and a claimant's full-word CAS takes
+/// the slot back. Joiners may transiently bump an unvalidated word's
+/// count (the blind add races the owner), so the owner's validate and
+/// re-stamp steps are CAS loops that preserve the current count rather
+/// than exact-expected CASes.
 ///
 /// Slots live in a `core::SlotDirectory` — the paper's Section 4.3
 /// grow-only directory — so the number of concurrently live snapshots is
 /// unbounded: when every slot is busy the opener doubles the slot set
-/// lock-free and existing slots never move.
+/// lock-free and existing slots never move. Each slot word is
+/// `CachePadded` (as is the clock): the open/close fast path RMWs one
+/// word per cycle, and without the stride those RMWs would invalidate
+/// the neighbouring slots' lines and the directory header.
 ///
 /// All clock and slot operations are `seq_cst`. The correctness argument
 /// (documented at `acquire` and `minLive`) leans on the single total
@@ -50,6 +74,7 @@
 #define LFSMR_KV_SNAPSHOT_REGISTRY_H
 
 #include "core/slot_directory.h"
+#include "support/align.h"
 
 #include <atomic>
 #include <cstddef>
@@ -66,22 +91,29 @@ public:
   static constexpr std::uint64_t Pending = ~std::uint64_t{0};
 
   /// Stamps are packed into 48 bits of the slot word; the clock must
-  /// stay below this (about 2.8e14 writes — years of continuous churn;
-  /// asserted in debug builds).
+  /// stay below this (about 2.8e14 writes — years of continuous churn).
+  /// Crossing the bound would silently corrupt the validated bit and
+  /// the trim floor, so it is a hard abort even under NDEBUG: `tick`
+  /// checks the value it returns and no stamp above the mask ever
+  /// escapes into a chain or a slot.
   static constexpr std::uint64_t StampBits = 48;
   static constexpr std::uint64_t StampMask = (std::uint64_t{1} << StampBits) - 1;
 
-  /// Saturation bound of one slot's 15-bit share count: at most this
-  /// many snapshots can pool one `[count:15|validated:1|stamp:48]` word.
-  /// `acquire` never joins a saturated slot — the 32768th concurrent
+  /// Join bound of one slot's 15-bit share count: `acquire` never joins
+  /// a word whose count has reached this, so the 16384th concurrent
   /// claim on one clock value overflows safely into a fresh slot (and
-  /// the directory grows when none is free), so the count can neither
-  /// wrap into the validated bit nor lose references.
+  /// the directory grows when none is free). The bound is half the
+  /// field's 2^15 - 1 capacity: the fast path *blindly* increments
+  /// before checking, so the field needs headroom for transient
+  /// overshoot — one in-flight increment per concurrently opening
+  /// thread. With 2^14 spare, the count cannot carry into the validated
+  /// bit below 16384 simultaneous openers of one slot.
   static constexpr std::uint64_t MaxSharersPerSlot =
-      (std::uint64_t{1} << 15) - 1;
+      (std::uint64_t{1} << 14) - 1;
 
-  /// \p MinSlots seeds the slot directory (power of two; grows on
-  /// demand when more snapshots are live concurrently).
+  /// \p MinSlots seeds the slot directory (rounded up to a power of
+  /// two, minimum 1 — the directory hard-requires it; grows on demand
+  /// when more snapshots are live concurrently).
   explicit SnapshotRegistry(std::size_t MinSlots);
 
   SnapshotRegistry(const SnapshotRegistry &) = delete;
@@ -96,14 +128,20 @@ public:
 
   /// Current clock value (the stamp the next snapshot would read at).
   std::uint64_t clock() const {
-    return Clock.load(std::memory_order_seq_cst);
+    return Clock.Value.load(std::memory_order_seq_cst);
   }
 
   /// Advances the clock and returns the new value — the stamp of one
   /// write. Called after the version is already published (stamp order
   /// therefore trails publication order; `resolve` ties the two).
+  /// Aborts the process if the new value exceeds the 48-bit stamp
+  /// space; the check survives NDEBUG (see StampBits) and runs before
+  /// the value is returned, so no out-of-range stamp is ever used.
   std::uint64_t tick() {
-    return Clock.fetch_add(1, std::memory_order_seq_cst) + 1;
+    const std::uint64_t V =
+        Clock.Value.fetch_add(1, std::memory_order_seq_cst) + 1;
+    checkStamp(V);
+    return V;
   }
 
   /// Resolves a possibly-Pending version stamp: if \p Stamp is still
@@ -124,13 +162,27 @@ public:
   }
 
   /// Opens a snapshot at the current clock value. Never fails: when all
-  /// slots are busy the directory grows. The returned ticket's stamp is
-  /// *validated*: at some instant after the slot was published, the
-  /// clock still equalled the stamp — so every version that could be
-  /// visible at it is protected from trimming from that instant on
-  /// (`minLive` scans after the trigger write's tick, and any trim that
-  /// scanned earlier ran with the clock at or below the stamp, which
-  /// cannot remove the version visible at it).
+  /// slots are busy the directory grows.
+  ///
+  /// Fast path (the common case — this thread's last slot still holds a
+  /// validated word at the current clock value): exactly one RMW, a
+  /// blind `fetch_add` on that word, verified after the fact. The
+  /// post-increment check requires the pre-add word to have been
+  /// validated at the current stamp with a count below
+  /// MaxSharersPerSlot, *and* re-reads the clock — the self-validating
+  /// load every join performs (see the file comment). On any mismatch
+  /// the add is undone with a `fetch_sub` and the slow path runs: a
+  /// scan (starting at a per-thread rotated index, not slot 0) that
+  /// first joins a validated word at the stamp, then claims a free slot
+  /// and publish-then-validates it.
+  ///
+  /// Either way the returned ticket's stamp is *validated*: at some
+  /// instant after this thread's reference was published, the clock
+  /// still equalled the stamp — so every version that could be visible
+  /// at it is protected from trimming from that instant on (`minLive`
+  /// scans after the trigger write's tick, and any trim that scanned
+  /// earlier ran with the clock at or below the stamp, which cannot
+  /// remove the version visible at it).
   Ticket acquire();
 
   /// Releases one reference on \p T's slot.
@@ -155,6 +207,33 @@ public:
   /// Current slot capacity (grows on demand; for tests).
   std::size_t slotCapacity() const { return Slots.capacity(); }
 
+  /// Counters over `acquire`'s control flow. Fast-path successes are
+  /// deliberately *not* counted — a success counter would be a second
+  /// shared RMW on the one-RMW path — so tests observe the fast path by
+  /// asserting these stay flat across a batch of acquires.
+  struct AcquireStats {
+    /// Acquires that fell through to the slow-path scan (including the
+    /// very first acquire of each thread, which has no hint yet).
+    std::uint64_t SlowAcquires = 0;
+    /// Fast-path attempts whose post-increment verification failed and
+    /// were undone (stale stamp, lost validation race, saturation).
+    std::uint64_t FastRejects = 0;
+  };
+
+  /// Snapshot of the acquire counters (approximate under concurrency).
+  AcquireStats acquireStats() const {
+    return {SlowAcquires.Value.load(std::memory_order_seq_cst),
+            FastRejects.Value.load(std::memory_order_seq_cst)};
+  }
+
+  /// Test hook: forces the clock to \p V. Callers must be quiescent (no
+  /// concurrent acquires, no live snapshots, no pending stamps) — this
+  /// exists only so tests can drive the clock near StampMask without
+  /// 2^48 ticks.
+  void setClockForTest(std::uint64_t V) {
+    Clock.Value.store(V, std::memory_order_seq_cst);
+  }
+
 private:
   /// Slot word layout: [refcount:15 | validated:1 | stamp:48].
   static constexpr std::uint64_t ValidatedBit = std::uint64_t{1} << StampBits;
@@ -170,8 +249,30 @@ private:
     return (Count << (StampBits + 1)) | Stamp;
   }
 
-  std::atomic<std::uint64_t> Clock{1};
-  core::SlotDirectory<std::atomic<std::uint64_t>> Slots;
+  /// Aborts when \p V does not fit the stamp field. Out-of-line so the
+  /// inlined callers carry only a compare and a cold call.
+  static void checkStamp(std::uint64_t V) {
+    if (V > StampMask)
+      clockOverflow();
+  }
+  [[noreturn]] static void clockOverflow();
+
+  /// The scan fallback behind `acquire` (see its comment).
+  Ticket slowAcquire(std::uint64_t S);
+
+  /// One word per slot, cache-line strided. The stride trades directory
+  /// footprint (128 B/slot; slot counts are small powers of two) for
+  /// RMW isolation on the open/close fast path.
+  using SlotWord = CachePadded<std::atomic<std::uint64_t>>;
+
+  /// The clock is RMW'd by every write; the acquire counters by every
+  /// slow acquire. Each gets its own line so none of them thrashes the
+  /// others or the directory header (KMin/K/array pointers), which every
+  /// acquire and trim scan reads.
+  CachePadded<std::atomic<std::uint64_t>> Clock{std::uint64_t{1}};
+  CachePadded<std::atomic<std::uint64_t>> SlowAcquires{std::uint64_t{0}};
+  CachePadded<std::atomic<std::uint64_t>> FastRejects{std::uint64_t{0}};
+  core::SlotDirectory<SlotWord> Slots;
 };
 
 /// Move-only RAII handle over one registry ticket: releases on

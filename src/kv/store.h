@@ -111,8 +111,11 @@ struct Options {
   /// buckets materialize lazily). 0 disables growth.
   std::size_t MaxLoadFactor = 4;
 
-  /// Initial snapshot-slot count (power of two). The slot directory
-  /// grows lock-free when more snapshots are live concurrently.
+  /// Initial snapshot-slot count; rounded up to a power of two (both
+  /// here and at the registry boundary, so direct `SnapshotRegistry`
+  /// users get the same guarantee). The slot directory grows lock-free
+  /// when more snapshots are live concurrently. Slot words are
+  /// cache-line strided (128 B each), so this is a footprint knob too.
   std::size_t MinSnapshotSlots = 8;
 };
 
@@ -250,7 +253,10 @@ public:
   /// Opens a snapshot of the whole store at the current version clock.
   /// While it is live, writers stop trimming versions it can see; the
   /// handle releases on destruction. Any thread may open one (no
-  /// thread-id needed — the registry is transparent). The handle must
+  /// thread-id needed — the registry is transparent). In the steady
+  /// state (this thread recently opened a snapshot and the clock has
+  /// not left the last slot's stamp behind) open and close are one RMW
+  /// each (`SnapshotRegistry::acquire`'s fast path). The handle must
   /// not outlive the store: destroy or `reset()` it first (its release
   /// writes into the store-owned registry).
   SnapshotHandle open_snapshot() { return SnapshotHandle(Registry); }

@@ -46,6 +46,16 @@ template <typename T> struct alignas(CacheLineSize) CachePadded {
 static_assert(sizeof(CachePadded<char>) == CacheLineSize,
               "padding must round up to a full cache line");
 
+/// True when \p N is a power of two (zero is not).
+constexpr bool isPowerOfTwo(std::size_t N) {
+  return N != 0 && (N & (N - 1)) == 0;
+}
+
+static_assert(!isPowerOfTwo(0));
+static_assert(isPowerOfTwo(1));
+static_assert(isPowerOfTwo(64));
+static_assert(!isPowerOfTwo(24));
+
 /// Returns \p N rounded up to the next power of two (minimum 1).
 constexpr std::size_t nextPowerOfTwo(std::size_t N) {
   std::size_t P = 1;

@@ -99,7 +99,8 @@ void Report::emitPreamble() {
                  "suite,panel,structure,mix,scheme,threads,repeats,"
                  "mops_mean,mops_stddev,mops_min,mops_max,"
                  "avg_unreclaimed_mean,avg_unreclaimed_max,"
-                 "peak_unreclaimed_max,total_ops,wall_sec\n");
+                 "peak_unreclaimed_max,lat_p50_ns_mean,lat_p99_ns_mean,"
+                 "total_ops,wall_sec\n");
   } else if (Fmt == Format::Human) {
     std::fprintf(Out, "%s — git %s, %s (%s)\n", Meta.Tool.c_str(),
                  Meta.GitSha.c_str(), Meta.Compiler.c_str(),
@@ -129,12 +130,12 @@ void Report::addPoint(const DataPoint &P) {
 void Report::emitCsvPoint(const DataPoint &P) {
   std::fprintf(Out,
                "%s,%s,%s,%s,%s,%u,%zu,%.4f,%.4f,%.4f,%.4f,%.1f,%.1f,%.0f,"
-               "%llu,%.3f\n",
+               "%.1f,%.1f,%llu,%.3f\n",
                P.Suite.c_str(), P.Panel.c_str(), P.Structure.c_str(),
                P.Mix.c_str(), P.Scheme.c_str(), P.Threads, repeatsOf(P),
                P.Mops.mean(), P.Mops.stddev(), P.Mops.min(), P.Mops.max(),
                P.AvgUnreclaimed.mean(), P.AvgUnreclaimed.max(),
-               P.PeakUnreclaimed.max(),
+               P.PeakUnreclaimed.max(), P.LatP50Ns.mean(), P.LatP99Ns.mean(),
                static_cast<unsigned long long>(P.TotalOps), P.WallSec);
   std::fflush(Out);
 }
@@ -149,9 +150,13 @@ void Report::emitHumanPoint(const DataPoint &P) {
   }
   std::fprintf(Out,
                "  %-10s %4u thr  %9.3f ±%.3f Mops/s   unreclaimed avg "
-               "%10.1f peak %10.0f\n",
+               "%10.1f peak %10.0f",
                P.Scheme.c_str(), P.Threads, P.Mops.mean(), P.Mops.stddev(),
                P.AvgUnreclaimed.mean(), P.PeakUnreclaimed.max());
+  if (P.LatP50Ns.count() || P.LatP99Ns.count())
+    std::fprintf(Out, "   lat p50 %8.0f ns p99 %8.0f ns", P.LatP50Ns.mean(),
+                 P.LatP99Ns.mean());
+  std::fputc('\n', Out);
   std::fflush(Out);
 }
 
@@ -259,6 +264,10 @@ std::string Report::renderJson(double WallSec) const {
     writeStats(W, "mops", P.Mops);
     writeStats(W, "avg_unreclaimed", P.AvgUnreclaimed);
     writeStats(W, "peak_unreclaimed", P.PeakUnreclaimed);
+    if (P.LatP50Ns.count() || P.LatP99Ns.count()) {
+      writeStats(W, "lat_p50_ns", P.LatP50Ns);
+      writeStats(W, "lat_p99_ns", P.LatP99Ns);
+    }
     W.key("total_ops").value(P.TotalOps);
     W.key("wall_sec").value(P.WallSec);
     W.endObject();

@@ -78,6 +78,12 @@ struct DataPoint {
   RunStats Mops;            ///< throughput per repeat, Mops/s
   RunStats AvgUnreclaimed;  ///< Figure 12 metric per repeat
   RunStats PeakUnreclaimed; ///< peak sampled unreclaimed per repeat
+  /// Optional per-operation latency distribution (kv-snap-cycle):
+  /// each repeat contributes its sampled p50/p99 in nanoseconds. Empty
+  /// (count() == 0) for suites that only measure throughput; JSON emits
+  /// the `lat_*` objects only when present.
+  RunStats LatP50Ns;
+  RunStats LatP99Ns;
   uint64_t TotalOps = 0;    ///< raw operations summed over repeats
   double WallSec = 0;       ///< measured wall time summed over repeats
 };

@@ -150,12 +150,13 @@ TEST(SnapshotRegistry, SlotDirectoryGrowsWhenAllSlotsBusy) {
 }
 
 TEST(SnapshotRegistry, ShareCountSaturationOverflowsIntoFreshSlot) {
-  // The packed slot word holds a 15-bit share count: claim #32768 on one
-  // clock value must refuse to join the saturated word and open a fresh
-  // slot instead — never wrap the count into the validated bit or lose a
-  // reference.
+  // The packed slot word holds a 15-bit share count but only half of it
+  // is joinable — the rest is headroom for the fast path's blind
+  // increments: claim #16384 on one clock value must refuse to join the
+  // saturated word and open a fresh slot instead — never wrap the count
+  // into the validated bit or lose a reference.
   constexpr uint64_t Max = kv::SnapshotRegistry::MaxSharersPerSlot;
-  ASSERT_EQ(Max, 32767u);
+  ASSERT_EQ(Max, 16383u);
   kv::SnapshotRegistry R(2);
   const auto First = R.acquire();
   std::vector<kv::SnapshotRegistry::Ticket> Sharers;
@@ -330,6 +331,40 @@ TYPED_TEST(KvStore, SnapshotIsolationAcrossWrites) {
   // Repeatability within a snapshot.
   EXPECT_EQ(Db.get(0, K(1), S1), Db.get(0, K(1), S1));
   EXPECT_GT(S2.version(), S1.version());
+}
+
+TYPED_TEST(KvStore, SnapshotOpenCloseCyclesStayOnTheFastPath) {
+  typename TestFixture::Store Db(kvTestOptions());
+  const auto K = [](uint64_t X) { return TestFixture::key(X); };
+  const auto V = [](uint64_t X) { return TestFixture::val(X); };
+  Db.put(0, K(1), V(10));
+
+  // Warm the per-thread slot hint (the first acquire has none and the
+  // clock may have left older slots behind), then cycle: with the clock
+  // quiescent, every open must join via the one-RMW fast path — the
+  // slow-path and reject counters stay flat.
+  { kv::snapshot Warm = Db.open_snapshot(); }
+  const auto Before = Db.registry().acquireStats();
+  for (int I = 0; I < 64; ++I) {
+    kv::snapshot S = Db.open_snapshot();
+    EXPECT_EQ(*Db.get(0, K(1), S), V(10));
+  }
+  const auto After = Db.registry().acquireStats();
+  EXPECT_EQ(After.SlowAcquires, Before.SlowAcquires)
+      << "open/close cycles at a quiescent clock must not hit the slow path";
+  EXPECT_EQ(After.FastRejects, Before.FastRejects);
+
+  // Writes move the clock: the next open re-validates (slow path) and
+  // still reads consistently; subsequent cycles are fast again.
+  Db.put(0, K(1), V(11));
+  { kv::snapshot S = Db.open_snapshot(); }
+  const auto Rearmed = Db.registry().acquireStats();
+  for (int I = 0; I < 16; ++I) {
+    kv::snapshot S = Db.open_snapshot();
+    EXPECT_EQ(*Db.get(0, K(1), S), V(11));
+  }
+  EXPECT_EQ(Db.registry().acquireStats().SlowAcquires, Rearmed.SlowAcquires);
+  EXPECT_EQ(Db.live_snapshots(), 0u);
 }
 
 TYPED_TEST(KvStore, VersionChainsTrimToOneWithoutSnapshots) {

@@ -345,7 +345,11 @@ std::string renderReport(report::Format F) {
     Pt.WallSec = 0.5;
     Rep.addPoint(Pt);
 
+    // The second point carries the optional latency stats (kv-snap-cycle
+    // panels): JSON must emit them here and omit them on the first point.
     Pt.Scheme = "hyalines";
+    Pt.LatP50Ns.add(120.0);
+    Pt.LatP99Ns.add(900.0);
     Rep.addPoint(Pt);
 
     report::QualRow Row;
@@ -392,6 +396,18 @@ TEST(ReportJson, SchemaFieldsPresent) {
     EXPECT_NE(Doc.find(Field), std::string::npos) << "missing " << Field;
 }
 
+TEST(ReportJson, LatencyStatsEmittedOnlyWhenPresent) {
+  const std::string Doc = renderReport(report::Format::Json);
+  // Exactly one of the two points carries latency samples.
+  std::size_t Count = 0;
+  for (std::size_t At = Doc.find("\"lat_p50_ns\""); At != std::string::npos;
+       At = Doc.find("\"lat_p50_ns\"", At + 1))
+    ++Count;
+  EXPECT_EQ(Count, 1u);
+  EXPECT_NE(Doc.find("\"lat_p99_ns\""), std::string::npos);
+  EXPECT_NE(Doc.find("900"), std::string::npos);
+}
+
 TEST(ReportJson, StatsRoundTrip) {
   const std::string Doc = renderReport(report::Format::Json);
   // mean of {1.5, 2.5}, and both raw samples, must appear.
@@ -415,6 +431,8 @@ TEST(ReportCsv, HeaderAndRows) {
   EXPECT_NE(
       Doc.find("suite,panel,structure,mix,scheme,threads,repeats,mops_mean"),
       std::string::npos);
+  EXPECT_NE(Doc.find("lat_p50_ns_mean,lat_p99_ns_mean"), std::string::npos)
+      << "csv header must carry the latency columns";
   EXPECT_NE(Doc.find("hashmap,fig11b+12b,hashmap,write,epoch,8,2,2.0000"),
             std::string::npos);
   EXPECT_NE(Doc.find("# git_sha="), std::string::npos);
