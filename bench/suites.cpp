@@ -334,6 +334,34 @@ void runEnterLeaveSuite(const CommandLine &Cmd, report::Report &Rep) {
 // kv: versioned key-value store (lfsmr::kv) — snapshot reads, write trim
 //===----------------------------------------------------------------------===//
 
+/// Bounded per-thread latency reservoir: strided samples land in a ring
+/// once the cap is reached, so long runs keep late samples without
+/// unbounded memory. Shared by the kv-txn commit-latency panels and the
+/// kv-snap-cycle suite below.
+class LatReservoir {
+public:
+  void record(double Ns) {
+    if (Buf.size() < Cap) {
+      Buf.push_back(Ns);
+      return;
+    }
+    Buf[Next] = Ns;
+    Next = (Next + 1) % Cap;
+  }
+  const std::vector<double> &samples() const { return Buf; }
+
+private:
+  static constexpr std::size_t Cap = std::size_t{1} << 16;
+  std::vector<double> Buf;
+  std::size_t Next = 0;
+};
+
+double nsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
 /// Workload mixes for the kv suite. Read/write are YCSB-ish point-op
 /// blends; snapshot interleaves writes with snapshot-handle read bursts
 /// (version pinning + trimming); scan interleaves writes with whole-store
@@ -457,6 +485,54 @@ uint64_t kvStringWorker(kv::Store<S, std::string, std::string> &Db,
   return Ops;
 }
 
+/// Stride between latency-sampled commits (power of two), matching the
+/// snap-cycle discipline: timing every commit would price the clock.
+constexpr uint64_t TxnLatStride = 64;
+
+/// One thread of a timed transactional run: each iteration buffers a
+/// \p Batch-key read-modify-write transaction (read-your-writes `get`
+/// then `put`) and commits; every TxnLatStride-th commit is timed into
+/// \p Lat. Only committed writes count as ops — the panel measures
+/// commit throughput, with the abort share reported separately via
+/// \p Attempts / \p Aborts.
+template <typename S>
+uint64_t kvTxnWorker(kv::Store<S> &Db, LatReservoir &Lat, unsigned Batch,
+                     unsigned Tid, uint64_t Seed, uint64_t KeyRange,
+                     std::atomic<uint64_t> &Attempts,
+                     std::atomic<uint64_t> &Aborts, std::atomic<bool> &Stop) {
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0, Tried = 0, Failed = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 16; ++I) {
+      auto Txn = Db.begin_transaction();
+      const uint64_t Base = Rng.nextBounded(KeyRange);
+      for (unsigned J = 0; J < Batch; ++J) {
+        // Scattered keys off one random base: cheap to draw, spread
+        // across shards, still contended enough to exercise aborts.
+        const uint64_t K = (Base + J * 7919) % KeyRange;
+        const auto Cur = Txn.get(Tid, K);
+        Txn.put(K, Cur.value_or(K) + 1);
+      }
+      ++Tried;
+      bool Ok;
+      if ((Tried & (TxnLatStride - 1)) == 0) {
+        const auto T0 = std::chrono::steady_clock::now();
+        Ok = Txn.commit(Tid);
+        Lat.record(nsSince(T0));
+      } else {
+        Ok = Txn.commit(Tid);
+      }
+      if (Ok)
+        Ops += Batch;
+      else
+        ++Failed;
+    }
+  }
+  Attempts.fetch_add(Tried, std::memory_order_relaxed);
+  Aborts.fetch_add(Failed, std::memory_order_relaxed);
+  return Ops;
+}
+
 template <typename S> struct KvSuiteOp {
   /// One (panel × threads) data point: builds a store per repeat via
   /// \p MakeStore, runs \p Worker(Db, Tid, Seed, Stop) on every thread,
@@ -522,6 +598,80 @@ template <typename S> struct KvSuiteOp {
     KO.BucketsPerShard =
         nextPowerOfTwo(std::max<uint64_t>(KeyRange / (16 * 4), 64));
     return KO;
+  }
+
+  /// One kv-txn data point: \p Batch-key transactions over a prefilled
+  /// store. Extends the plain runPanel shape with the per-repeat commit
+  /// latency reservoir merge (p50/p99 over the strided samples of every
+  /// thread) and the abort share of commit attempts.
+  static void runTxnPanel(const char *Panel, unsigned Batch,
+                          const std::string &Scheme, const SweepOptions &O,
+                          report::Report &Rep) {
+    using Store = kv::Store<S>;
+    for (const int64_t T : O.Threads) {
+      report::DataPoint Pt;
+      Pt.Suite = "kv";
+      Pt.Panel = Panel;
+      Pt.Structure = "kv";
+      Pt.Mix = "txn";
+      Pt.Scheme = Scheme;
+      Pt.Threads = static_cast<unsigned>(T);
+      for (unsigned R = 0; R < O.Repeats; ++R) {
+        auto Db =
+            std::make_unique<Store>(pointOptions(static_cast<unsigned>(T),
+                                                 O.KeyRange));
+        for (uint64_t K = 0; K < O.Prefill; ++K)
+          Db->put(0, K, K * 2);
+        std::vector<LatReservoir> Lat(static_cast<std::size_t>(T));
+        std::atomic<uint64_t> Attempts{0}, Aborts{0};
+        double Mops = 0, Elapsed = 0;
+        uint64_t Ops = 0;
+        double SumUnreclaimed = 0;
+        int64_t PeakUnreclaimed = 0;
+        uint64_t Samples = 0;
+        timedPhaseSampled(
+            static_cast<unsigned>(T), O.Secs,
+            [&](unsigned Tid, std::atomic<bool> &Stop) {
+              return kvTxnWorker(*Db, Lat[Tid], Batch, Tid,
+                                 SplitMix64(O.Seed + R * 1024 + Tid).next(),
+                                 O.KeyRange, Attempts, Aborts, Stop);
+            },
+            [&] {
+              const int64_t U = Db->stats().unreclaimed;
+              SumUnreclaimed += static_cast<double>(U);
+              if (U > PeakUnreclaimed)
+                PeakUnreclaimed = U;
+              ++Samples;
+            },
+            Mops, Ops, Elapsed);
+        const memory_stats MS = Db->stats();
+        Pt.Mops.add(Mops);
+        Pt.AvgUnreclaimed.add(
+            Samples ? SumUnreclaimed / static_cast<double>(Samples)
+                    : static_cast<double>(MS.unreclaimed));
+        Pt.PeakUnreclaimed.add(
+            Samples ? static_cast<double>(PeakUnreclaimed)
+                    : static_cast<double>(MS.unreclaimed));
+        RunStats Merged;
+        for (const LatReservoir &L : Lat)
+          for (const double V : L.samples())
+            Merged.add(V);
+        if (Merged.count()) {
+          Pt.LatP50Ns.add(Merged.percentile(50));
+          Pt.LatP99Ns.add(Merged.percentile(99));
+        }
+        const uint64_t A = Attempts.load(std::memory_order_relaxed);
+        Pt.AbortPct.add(
+            A ? 100.0 *
+                    static_cast<double>(
+                        Aborts.load(std::memory_order_relaxed)) /
+                    static_cast<double>(A)
+              : 0.0);
+        Pt.TotalOps += Ops;
+        Pt.WallSec += Elapsed;
+      }
+      Rep.addPoint(Pt);
+    }
   }
 
   static void run(const std::string &Scheme, const SweepOptions &O,
@@ -592,6 +742,13 @@ template <typename S> struct KvSuiteOp {
             std::atomic<bool> &Stop) {
           return kvStringWorker(Db, Tid, Seed, O.KeyRange, Stop);
         });
+
+    // kv-txn: multi-key read-modify-write transactions at three batch
+    // sizes — b1 is the solo fast path (no commit record), b4/b16 run
+    // the shared-commit-record protocol with rising conflict odds.
+    runTxnPanel("kv-txn-b1", 1, Scheme, O, Rep);
+    runTxnPanel("kv-txn-b4", 4, Scheme, O, Rep);
+    runTxnPanel("kv-txn-b16", 16, Scheme, O, Rep);
   }
 };
 
@@ -605,6 +762,10 @@ void runKvSuite(const CommandLine &Cmd, report::Report &Rep) {
   Rep.note("kv: kv-string runs store<S, std::string, std::string> "
            "(variable-size codec records); kv-resize starts from 4-bucket "
            "shards so cooperative growth runs for the whole measurement");
+  Rep.note("kv: kv-txn-bN commits N-key read-modify-write transactions; "
+           "mops counts committed writes only, abort_pct is the share of "
+           "commit attempts lost to first-writer-wins conflicts, lat_* is "
+           "the strided commit-call latency");
 }
 
 //===----------------------------------------------------------------------===//
@@ -614,33 +775,6 @@ void runKvSuite(const CommandLine &Cmd, report::Report &Rep) {
 /// Stride between latency-sampled cycles (power of two). Timing every
 /// cycle would let the clock calls dominate the thing being measured.
 constexpr uint64_t SnapLatStride = 64;
-
-/// Bounded per-thread latency reservoir: strided samples land in a ring
-/// once the cap is reached, so long runs keep late samples without
-/// unbounded memory.
-class LatReservoir {
-public:
-  void record(double Ns) {
-    if (Buf.size() < Cap) {
-      Buf.push_back(Ns);
-      return;
-    }
-    Buf[Next] = Ns;
-    Next = (Next + 1) % Cap;
-  }
-  const std::vector<double> &samples() const { return Buf; }
-
-private:
-  static constexpr std::size_t Cap = std::size_t{1} << 16;
-  std::vector<double> Buf;
-  std::size_t Next = 0;
-};
-
-double nsSince(std::chrono::steady_clock::time_point T0) {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - T0)
-      .count();
-}
 
 /// One thread of a bare-registry open/close run: every cycle is an
 /// acquire+release pair; every SnapLatStride-th is timed. \p TickEvery

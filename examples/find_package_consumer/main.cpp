@@ -237,6 +237,53 @@ template <typename Scheme> void kvStringRoundTrip(const char *Name) {
   check(Grew, Name);
 }
 
+/// Atomic multi-key transactions from the installed package: buffered
+/// writes with read-your-writes, one-stamp atomic visibility,
+/// first-writer-wins aborts, and the single-key CAS/merge fast path —
+/// all against `<lfsmr/kv.h>` alone (transparent and intrusive modes).
+template <typename Scheme> void kvTxnRoundTrip(const char *Name) {
+  lfsmr::kv::options Opt;
+  Opt.Reclaim.MaxThreads = 2;
+  Opt.Shards = 2;
+  Opt.BucketsPerShard = 64;
+  lfsmr::kv::store<Scheme> Db(Opt);
+
+  Db.put(0, 1, 100);
+  Db.put(0, 2, 200);
+
+  lfsmr::kv::snapshot Before = Db.open_snapshot();
+  auto Txn = Db.begin_transaction();
+  const std::optional<uint64_t> A = Txn.get(0, 1);
+  check(A && *A == 100, "txn: snapshot read through the transaction");
+  Txn.put(1, *A - 50);
+  Txn.put(2, 250);
+  const std::optional<uint64_t> Buffered = Txn.get(0, 1);
+  check(Buffered && *Buffered == 50, "txn: read-your-writes");
+  check(Db.get(0, 1).value_or(0) == 100, "txn: buffer invisible pre-commit");
+  check(Txn.commit(0), "txn: unconflicted commit succeeds");
+  check(Db.get(0, 1).value_or(0) == 50 && Db.get(0, 2).value_or(0) == 250,
+        "txn: both writes landed");
+  check(Db.get(0, 1, Before).value_or(0) == 100 &&
+            Db.get(0, 2, Before).value_or(0) == 200,
+        "txn: pre-commit snapshot sees neither write");
+  Before.reset();
+
+  auto Doomed = Db.begin_transaction();
+  Doomed.put(1, 7);
+  Doomed.put(3, 8);
+  Db.put(0, 1, 60); // the conflicting first writer
+  check(!Doomed.commit(0), "txn: conflicting commit aborts");
+  check(Db.get(0, 1).value_or(0) == 60 && !Db.get(0, 3).has_value(),
+        "txn: aborted commit applied nothing");
+
+  check(Db.compare_and_set(0, 1, 60, 61), "txn: matching cas succeeds");
+  check(!Db.compare_and_set(0, 1, 60, 62), "txn: stale cas fails");
+  check(Db.merge(0, 9, [](std::optional<uint64_t> Cur) {
+          return Cur.value_or(0) + 5;
+        }) == 5,
+        Name);
+}
+
 /// A public container over an installed scheme alias.
 void containerRoundTrip() {
   lfsmr::config Cfg;
@@ -271,6 +318,10 @@ int main() {
       "kv string store grew its buckets (hyaline-s)");
   kvStringRoundTrip<lfsmr::schemes::hazard_pointers>(
       "kv string store grew its buckets (hp, intrusive mode)");
+  kvTxnRoundTrip<lfsmr::schemes::hyaline_s>(
+      "kv txn merge upserts (hyaline-s)");
+  kvTxnRoundTrip<lfsmr::schemes::hazard_pointers>(
+      "kv txn merge upserts (hp, intrusive mode)");
   if (Failures) {
     std::fprintf(stderr, "%d check(s) failed\n", Failures);
     return 1;

@@ -25,6 +25,21 @@
 ///   db.get(tid, 42);        // => 2 (latest)
 ///   db.get(tid, 42, snap);  // => 1 (as of the snapshot)
 ///
+///   // Atomic multi-key transactions: buffered writes, read-your-
+///   // writes, first-writer-wins conflict detection, one commit stamp
+///   // for the whole batch.
+///   auto txn = db.begin_transaction();
+///   auto from = txn.get(tid, 42);             // snapshot read
+///   txn.put(42, *from - 10);
+///   txn.put(43, 10);                          // buffered, invisible
+///   if (!txn.commit(tid)) { /* conflicting write won: retry */ }
+///
+///   // Single-key atomics without a transaction:
+///   db.compare_and_set(tid, 42, /*expected=*/2, /*desired=*/3);
+///   db.merge(tid, 42, [](std::optional<std::uint64_t> cur) {
+///     return cur.value_or(0) + 1;
+///   });
+///
 ///   // String keys and values are one template argument away:
 ///   lfsmr::kv::store<lfsmr::schemes::hyaline_s,
 ///                    std::string, std::string> names;
@@ -62,6 +77,14 @@
 ///    version; a long-lived snapshot pins history *by design* (that is
 ///    its contract), while reclamation robustness under a stalled
 ///    *guard* is whatever the chosen scheme guarantees.
+///  - **Atomic multi-key transactions.** `begin_transaction()` pins a
+///    snapshot and buffers a write set; `commit` publishes every version
+///    under one shared commit record and resolves it with a single
+///    clock tick, so any snapshot read or scan observes the batch
+///    all-or-nothing. Conflicts are first-writer-wins: the commit fails
+///    cleanly if a buffered key advanced past the transaction's read
+///    stamp. `compare_and_set`/`merge` are the buffer-free single-key
+///    fast path (see `kv/txn.h` for the protocol).
 ///  - **All nine schemes.** The store picks intrusive node layout for
 ///    address-protecting schemes (HP) and transparent allocation for the
 ///    rest, so `store<Scheme, K, V>` compiles and runs for every alias
@@ -75,6 +98,7 @@
 #include "kv/codec.h"
 #include "kv/snapshot_registry.h"
 #include "kv/store.h"
+#include "kv/txn.h"
 
 #include <cstdint>
 
@@ -103,6 +127,16 @@ using snapshot = SnapshotHandle;
 /// symmetrically; `store::options()` returns the values actually
 /// applied.
 using options = Options;
+
+/// Optimistic multi-key transaction handle returned by
+/// `store::begin_transaction`: buffered `put`/`erase` with
+/// read-your-writes `get`, committed atomically under one shared stamp
+/// (`commit`) or abandoned (`abort`). Move-only and single-use; like a
+/// snapshot, it must not outlive its store. See `kv/txn.h` for the
+/// commit protocol and its progress guarantees.
+template <typename Scheme, typename K = std::uint64_t,
+          typename V = std::uint64_t>
+using txn = Txn<Scheme, K, V>;
 
 } // namespace lfsmr::kv
 

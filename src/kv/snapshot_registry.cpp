@@ -173,6 +173,16 @@ SnapshotRegistry::Ticket SnapshotRegistry::slowAcquire(std::uint64_t S) {
   }
 }
 
+std::uint64_t SnapshotRegistry::resolveCommit(std::atomic<std::uint64_t> &Stamp) {
+  const std::uint64_t V = Stamp.load(std::memory_order_seq_cst);
+  if (V != Pending)
+    return V; // Unpublished, Aborted, or already settled
+  // Pending: the committer published the whole write set and opened the
+  // word for helping. One tick stamps the entire batch; the committer
+  // and any racing reader CAS benignly, first value wins.
+  return resolve(Stamp);
+}
+
 void SnapshotRegistry::release(const Ticket &T) {
   (*Slots.slot(T.Slot)).fetch_sub(One, std::memory_order_seq_cst);
 }

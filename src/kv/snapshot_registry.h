@@ -90,6 +90,28 @@ public:
   /// not yet assigned its clock value (see `resolve`).
   static constexpr std::uint64_t Pending = ~std::uint64_t{0};
 
+  /// Commit-word state of a multi-key transaction whose write set is
+  /// still being published. Unlike `Pending`, an Unpublished stamp must
+  /// *not* be helped to a clock value: resolving it early would let a
+  /// snapshot observe the already-published prefix of the write set
+  /// without the rest. Readers treat versions under an Unpublished
+  /// commit as invisible (+inf); writers that need the chain head
+  /// settled *kill* the transaction instead (CAS to `Aborted`), keeping
+  /// solo operations lock-free. Only the committer may move a commit
+  /// word from Unpublished to Pending — and only after its last version
+  /// is published, which is what makes the batch all-or-nothing.
+  static constexpr std::uint64_t Unpublished = ~std::uint64_t{0} - 1;
+
+  /// Terminal commit-word (and cached version-stamp) state of a killed
+  /// or conflicted transaction: its versions are invisible to every
+  /// read, at every snapshot, forever.
+  static constexpr std::uint64_t Aborted = ~std::uint64_t{0} - 2;
+
+  /// True when \p V is a real clock value (not Pending / Unpublished /
+  /// Aborted). Settled stamps fit the 48-bit field, so the three
+  /// sentinels can never collide with one.
+  static constexpr bool settled(std::uint64_t V) { return V <= StampMask; }
+
   /// Stamps are packed into 48 bits of the slot word; the clock must
   /// stay below this (about 2.8e14 writes — years of continuous churn).
   /// Crossing the bound would silently corrupt the validated bit and
@@ -160,6 +182,18 @@ public:
       return Fresh;
     return V; // a racer resolved it first
   }
+
+  /// Resolves the *shared* stamp word of a multi-key transaction commit
+  /// record. State machine: `Unpublished` (returned as-is — never
+  /// helped; the batch is not fully published), `Aborted` (terminal),
+  /// `Pending` (the committer finished publishing: draw one clock value
+  /// for the whole batch, first CAS wins exactly like `resolve` — this
+  /// single tick is what stamps every version of the write set at once),
+  /// or a settled value. Once Pending is observed the word can only move
+  /// to a settled value: Unpublished -> {Pending, Aborted} are the only
+  /// other transitions and both start from Unpublished, so the helping
+  /// CAS here can never race a kill.
+  std::uint64_t resolveCommit(std::atomic<std::uint64_t> &Stamp);
 
   /// Opens a snapshot at the current clock value. Never fails: when all
   /// slots are busy the directory grows.

@@ -48,6 +48,32 @@
 ///    with an ownership-transferring `exchange` walk and retired through
 ///    the guard. A chain reduced to one settled tombstone unlinks its
 ///    key node entirely.
+///  - Multi-key transactions (`kv/txn.h`) publish every version of a
+///    write set under one shared commit record and resolve it with a
+///    single clock tick, so snapshot reads observe the batch
+///    all-or-nothing. The chain protocol that makes this sound is
+///    documented at `stampOf` / `settleHeadForWrite` below; its load-
+///    bearing invariants are:
+///
+///      1. *Never append above an unsettled head.* A writer first
+///         settles the head's stamp: solo-pending stamps are helped
+///         (`resolve`), an unpublished transaction is *killed* (its
+///         commit word CASed to Aborted — keeping solo writes
+///         lock-free), and an aborted head is unpublished from the
+///         chain before anything goes above it. Corollary: only the
+///         head of a chain can ever be unsettled or aborted, so stamps
+///         strictly decrease down every chain.
+///      2. *A version with a Pending stamp is never retired.* Trim
+///         boundaries must be settled, suffix nodes below a boundary
+///         are settled by (1), and an aborted head's stamp is cached
+///         to Aborted before the unpublish CAS. This is what makes
+///         dereferencing a version's commit-record pointer safe (see
+///         `stampOf` for the full argument).
+///      3. *A commit record is retired only after every version it
+///         published has a non-Pending stamp* (the committer's settle
+///         sweep, or the abort sweep's unpublish). Readers re-check the
+///         version stamp after protecting the commit record, so a
+///         Pending observation proves the record is still alive.
 ///
 /// Reclamation-mode selection is automatic: address-protecting schemes
 /// (HP) get intrusive nodes (scheme header first; records are trivially
@@ -58,9 +84,11 @@
 /// store code.
 ///
 /// Protection-slot discipline (HP/HE): the index walk rotates slots 0–2
-/// exactly like `ds::ListOps`; version-chain walks rotate slots 3–4 and
+/// exactly like `ds::ListOps`; version-chain walks rotate slots 3–4,
 /// slot 5 pins a writer's own fresh version through the publish-then-
-/// stamp window. `Options::Reclaim.NumHazards` is raised to at least 8.
+/// stamp window, and slot 6 pins a transaction's commit record while a
+/// reader resolves its shared stamp. `Options::Reclaim.NumHazards` is
+/// raised to at least 8.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -118,6 +146,8 @@ struct Options {
   /// cache-line strided (128 B each), so this is a footprint knob too.
   std::size_t MinSnapshotSlots = 8;
 };
+
+template <typename Scheme, typename K, typename V> class Txn;
 
 /// Sharded, versioned KV store with snapshot reads and scans, generic
 /// over the reclamation scheme \p Scheme and the key/value types
@@ -212,8 +242,11 @@ public:
     return write(G, Key, nullptr, /*Tombstone=*/true);
   }
 
-  /// Latest-value read: the newest version of \p Key, or nullopt when
-  /// the key is absent or tombstoned.
+  /// Latest-value read: the newest *committed* version of \p Key, or
+  /// nullopt when the key is absent or tombstoned. Versions belonging
+  /// to an unpublished or aborted transaction are invisible: the read
+  /// descends past pending ones and restarts from the head when it
+  /// meets an aborted one (same protocol as `readAt`).
   std::optional<V> get(thread_id Tid, const K &Key) {
     auto G = Dom->enter(Tid);
     const std::uint64_t H = Codec<K>::hash(Key);
@@ -223,14 +256,144 @@ public:
     if (!Pos.Found)
       return std::nullopt;
     KNode *KN = toK(Pos.CurrRaw);
-    const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
-    if (Hd & Tag)
-      return std::nullopt; // key logically removed
-    VNode *Head = toV(Hd);
-    if (!Head || vr(Head).Tombstone)
-      return std::nullopt;
-    return Codec<V>::decode(vr(Head).Val);
+    for (;;) {
+      const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+      if (Hd & Tag)
+        return std::nullopt; // key logically removed
+      VNode *Cur = toV(Hd);
+      unsigned A = VSlotA, B = VSlotB;
+      bool Restart = false;
+      while (Cur) {
+        const std::uint64_t St = stampOf(G, Cur);
+        if (St == SnapshotRegistry::Aborted) {
+          Restart = true;
+          break;
+        }
+        if (St != SnapshotRegistry::Pending) { // newest settled version
+          if (vr(Cur).Tombstone)
+            return std::nullopt;
+          return Codec<V>::decode(vr(Cur).Val);
+        }
+        const std::uintptr_t Nxt = G.protect_link(vr(Cur).Older, B);
+        if (vr(Cur).Stamp.load(std::memory_order_seq_cst) ==
+            SnapshotRegistry::Aborted) {
+          Restart = true; // killed under us: Nxt may be stale
+          break;
+        }
+        Cur = toV(Nxt);
+        std::swap(A, B);
+      }
+      if (!Restart)
+        return std::nullopt;
+    }
   }
+
+  /// Atomically replaces \p Key's value with \p Desired iff its current
+  /// visible value equals \p Expected (codec byte/lexicographic
+  /// equality). The single-key transactional fast path: no write-set
+  /// buffering and no commit record — one conflict-free CAS append on a
+  /// settled head. Returns false when the key is absent, tombstoned, or
+  /// holds a different value.
+  bool compare_and_set(thread_id Tid, const K &Key, const V &Expected,
+                       const V &Desired) {
+    auto G = Dom->enter(Tid);
+    const std::uint64_t H = Codec<K>::hash(Key);
+    const std::size_t S = shardOf(H);
+    const Probe P{itemSoKey(H), &Key};
+    VNode *FreshV = nullptr;
+    bool Result = false;
+    for (;;) {
+      const typename Index_t::Position Pos =
+          Index->find(G, S, H, P, /*InitBuckets=*/false);
+      if (!Pos.Found)
+        break;
+      KNode *KN = toK(Pos.CurrRaw);
+      std::uintptr_t Hd;
+      std::uint64_t HdStamp;
+      if (!settleHeadForWrite(G, KN, S, H, P, Hd, HdStamp))
+        continue;
+      VNode *HeadV = toV(Hd);
+      if (!HeadV || vr(HeadV).Tombstone)
+        break; // no visible value to compare against
+      if (Codec<V>::compare(vr(HeadV).Val, Expected) != 0)
+        break;
+      if (!FreshV)
+        FreshV = makeVersion(G, &Desired, false, Hd);
+      else
+        vr(FreshV).Older.store(Hd, std::memory_order_relaxed);
+      std::uintptr_t Expect = Hd;
+      protectSelf(G, FreshV);
+      if (kr(KN).VHead.compare_exchange_strong(Expect, rawV(FreshV),
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_seq_cst)) {
+        Registry.resolve(vr(FreshV).Stamp);
+        FreshV = nullptr;
+        trimChain(G, KN, S, H, P);
+        Result = true;
+        break;
+      }
+      // Lost the append race; re-find, re-compare, retry.
+    }
+    if (FreshV)
+      discardVersion(G, FreshV);
+    return Result;
+  }
+
+  /// Atomic read-modify-write of one key without a transaction: \p Fn
+  /// receives the current visible value (nullopt when the key is absent
+  /// or tombstoned) and returns the value to store. Retries until the
+  /// append lands on an unchanged head, so \p Fn may run more than once
+  /// and must be pure. Returns the stored value.
+  template <typename F> V merge(thread_id Tid, const K &Key, F &&Fn) {
+    auto G = Dom->enter(Tid);
+    const std::uint64_t H = Codec<K>::hash(Key);
+    const std::size_t S = shardOf(H);
+    const Probe P{itemSoKey(H), &Key};
+    for (;;) {
+      const typename Index_t::Position Pos =
+          Index->find(G, S, H, P, /*InitBuckets=*/true);
+      if (!Pos.Found) {
+        const V NewV = Fn(std::optional<V>());
+        VNode *FreshV = makeVersion(G, &NewV, false, 0);
+        KNode *FreshK = makeKey(G, Key, P.SoKey, rawV(FreshV));
+        protectSelf(G, FreshV);
+        if (Index->insertAt(G, S, Pos, rawK(FreshK))) {
+          Registry.resolve(vr(FreshV).Stamp);
+          return NewV;
+        }
+        discardVersion(G, FreshV);
+        discardKey(G, FreshK);
+        continue;
+      }
+      KNode *KN = toK(Pos.CurrRaw);
+      std::uintptr_t Hd;
+      std::uint64_t HdStamp;
+      if (!settleHeadForWrite(G, KN, S, H, P, Hd, HdStamp))
+        continue;
+      VNode *HeadV = toV(Hd);
+      std::optional<V> Cur;
+      if (HeadV && !vr(HeadV).Tombstone)
+        Cur.emplace(Codec<V>::decode(vr(HeadV).Val));
+      const V NewV = Fn(std::move(Cur));
+      VNode *FreshV = makeVersion(G, &NewV, false, Hd);
+      std::uintptr_t Expect = Hd;
+      protectSelf(G, FreshV);
+      if (kr(KN).VHead.compare_exchange_strong(Expect, rawV(FreshV),
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_seq_cst)) {
+        Registry.resolve(vr(FreshV).Stamp);
+        trimChain(G, KN, S, H, P);
+        return NewV;
+      }
+      discardVersion(G, FreshV); // the value may change: remake per retry
+    }
+  }
+
+  /// Opens a multi-key transaction on this store: a snapshot pinned for
+  /// repeatable reads plus a buffered write set with read-your-writes,
+  /// committed atomically under one shared stamp (`kv/txn.h` has the
+  /// protocol). Defined in `kv/txn.h`; include `lfsmr/kv.h` to use it.
+  Txn<Scheme, K, V> begin_transaction();
 
   /// Snapshot read: the newest version of \p Key whose stamp is at or
   /// below \p Snap's validated clock value. Repeatable: two reads of the
@@ -368,7 +531,13 @@ public:
         G.protect_link(kr(toK(Pos.CurrRaw)).VHead, A) & ~Tag;
     while (VNode *VN = toV(Raw)) {
       ++N;
+      const std::uint64_t St =
+          vr(VN).Stamp.load(std::memory_order_seq_cst);
       Raw = G.protect_link(vr(VN).Older, B);
+      if (St == SnapshotRegistry::Pending &&
+          vr(VN).Stamp.load(std::memory_order_seq_cst) ==
+              SnapshotRegistry::Aborted)
+        break; // a txn died under the walk; the count is racy anyway
       std::swap(A, B);
     }
     return N;
@@ -402,19 +571,38 @@ private:
   /// publish-then-stamp window.
   static constexpr unsigned VSlotSelf = 5;
 
+  /// Slot pinning a transaction's commit record while `stampOf` resolves
+  /// a version's shared stamp through it.
+  static constexpr unsigned VSlotC = 6;
+
   /// One version: stamp (Pending until resolved), the link to the next
-  /// older version, and the codec-shaped payload (variable-size payloads
-  /// ride in the record's trailing suffix). Immutable once stamped,
-  /// except `Older`, which trimmers `exchange` to take ownership of the
-  /// suffix.
+  /// older version, the commit-record word, and the codec-shaped payload
+  /// (variable-size payloads ride in the record's trailing suffix).
+  /// Immutable once stamped, except `Older`, which trimmers `exchange`
+  /// to take ownership of the suffix. `Commit` is 0 for solo writes and
+  /// the owning `CommitRec` for transactional versions; it is written
+  /// once before publication and never after, so its only hazard is the
+  /// record's own lifetime (see `stampOf`).
   struct VersionRec {
     std::atomic<std::uint64_t> Stamp{SnapshotRegistry::Pending};
     std::atomic<std::uintptr_t> Older;
+    std::atomic<std::uintptr_t> Commit;
     bool Tombstone;
     typename Codec<V>::storage_type Val; // last: trailing bytes follow
 
-    VersionRec(bool Tomb, std::uintptr_t Old)
-        : Older(Old), Tombstone(Tomb) {}
+    VersionRec(bool Tomb, std::uintptr_t Old, std::uintptr_t C = 0)
+        : Older(Old), Commit(C), Tombstone(Tomb) {}
+  };
+
+  /// One transaction commit record: the shared stamp word every version
+  /// of the write set points at. Life cycle (see `snapshot_registry.h`):
+  /// born Unpublished; the committer CASes it to Pending after the last
+  /// publish (opening it for reader helping) or any writer that meets an
+  /// Unpublished head CASes it to Aborted (the kill); `resolveCommit`
+  /// settles Pending with one tick. Retired by its owner only after the
+  /// settle/abort sweep — invariant (3) in the file header.
+  struct CommitRec {
+    std::atomic<std::uint64_t> Stamp{SnapshotRegistry::Unpublished};
   };
 
   /// One key: the split-order link prefix, the version-chain head, and
@@ -440,7 +628,8 @@ private:
                 "the link prefix must head every list-resident record");
   static_assert(std::is_trivially_destructible_v<VersionRec> &&
                     std::is_trivially_destructible_v<KeyRec> &&
-                    std::is_trivially_destructible_v<DummyRec>,
+                    std::is_trivially_destructible_v<DummyRec> &&
+                    std::is_trivially_destructible_v<CommitRec>,
                 "records are reclaimed by deleters that run no user code");
 
   /// Intrusive-mode common prefix: the scheme header, sitting first so
@@ -454,7 +643,8 @@ private:
   struct IVersionNode {
     IPrefix P;
     VersionRec R;
-    IVersionNode(bool Tomb, std::uintptr_t Old) : P{}, R(Tomb, Old) {}
+    IVersionNode(bool Tomb, std::uintptr_t Old, std::uintptr_t C = 0)
+        : P{}, R(Tomb, Old, C) {}
   };
 
   struct IKeyNode {
@@ -469,9 +659,16 @@ private:
     explicit IDummyNode(std::uint64_t So) : P{}, R(So) {}
   };
 
+  struct ICommitNode {
+    IPrefix P;
+    CommitRec R;
+    ICommitNode() : P{}, R{} {}
+  };
+
   using VNode = std::conditional_t<IntrusiveMode, IVersionNode, VersionRec>;
   using KNode = std::conditional_t<IntrusiveMode, IKeyNode, KeyRec>;
   using DNode = std::conditional_t<IntrusiveMode, IDummyNode, DummyRec>;
+  using CNode = std::conditional_t<IntrusiveMode, ICommitNode, CommitRec>;
 
   /// Offset of the link prefix inside a list-resident node (identical
   /// for key and dummy nodes by construction).
@@ -497,6 +694,12 @@ private:
     else
       return *N;
   }
+  static CommitRec &cr(CNode *N) {
+    if constexpr (IntrusiveMode)
+      return N->R;
+    else
+      return *N;
+  }
 
   static VNode *toV(std::uintptr_t Raw) {
     return reinterpret_cast<VNode *>(Raw & ~Tag);
@@ -504,10 +707,16 @@ private:
   static KNode *toK(std::uintptr_t Raw) {
     return reinterpret_cast<KNode *>(Raw & ~Tag);
   }
+  static CNode *toC(std::uintptr_t Raw) {
+    return reinterpret_cast<CNode *>(Raw);
+  }
   static std::uintptr_t rawV(VNode *N) {
     return reinterpret_cast<std::uintptr_t>(N);
   }
   static std::uintptr_t rawK(KNode *N) {
+    return reinterpret_cast<std::uintptr_t>(N);
+  }
+  static std::uintptr_t rawC(CNode *N) {
     return reinterpret_cast<std::uintptr_t>(N);
   }
 
@@ -536,19 +745,20 @@ private:
   }
 
   VNode *makeVersion(guard_type &G, const V *Val, bool Tomb,
-                     std::uintptr_t Old) {
+                     std::uintptr_t Old, std::uintptr_t Commit = 0) {
     const std::size_t Extra = Val ? Codec<V>::trailingBytes(*Val) : 0;
     VNode *N;
     if constexpr (IntrusiveMode) {
       static_assert(offsetof(IVersionNode, P) == 0 &&
                         offsetof(IKeyNode, P) == 0 &&
-                        offsetof(IDummyNode, P) == 0,
+                        offsetof(IDummyNode, P) == 0 &&
+                        offsetof(ICommitNode, P) == 0,
                     "scheme header must sit at the start of the node");
       N = new (::operator new(sizeof(IVersionNode) + Extra))
-          IVersionNode(Tomb, Old);
+          IVersionNode(Tomb, Old, Commit);
       G.init(&N->P.Hdr);
     } else {
-      N = G.template create_extended<VersionRec>(Extra, Tomb, Old);
+      N = G.template create_extended<VersionRec>(Extra, Tomb, Old, Commit);
     }
     if (Val)
       Codec<V>::encode(vr(N).Val, trailingOf(N), *Val);
@@ -567,6 +777,24 @@ private:
     }
     Codec<K>::encode(kr(N).Key, trailingOf(N), Key);
     return N;
+  }
+
+  CNode *makeCommit(guard_type &G) {
+    CNode *N;
+    if constexpr (IntrusiveMode) {
+      N = new (::operator new(sizeof(ICommitNode))) ICommitNode();
+      G.init(&N->P.Hdr);
+    } else {
+      N = G.template create<CommitRec>();
+    }
+    return N;
+  }
+
+  void retireCommit(guard_type &G, CNode *N) {
+    if constexpr (IntrusiveMode)
+      G.retire(&N->P.Hdr);
+    else
+      G.retire(N);
   }
 
   void retireVersion(guard_type &G, VNode *N) {
@@ -681,6 +909,130 @@ private:
     (void)G.protect_link(Self, VSlotSelf);
   }
 
+  /// The visibility stamp of \p V (which the caller holds protected):
+  /// a settled clock value, `Aborted` (the version is invisible and
+  /// will be unpublished), or `Pending` (an unpublished transaction —
+  /// invisible *for now*, treat as +inf and keep walking). Solo pending
+  /// stamps are helped (`resolve`) exactly as before; transactional
+  /// stamps are resolved through the shared commit record and *cached*
+  /// into the version's own stamp word so later readers stop touching
+  /// the record.
+  ///
+  /// Commit-record lifetime argument: the record is dereferenced only
+  /// when the re-check load after `protect_link` still reads Pending.
+  /// The owner retires the record only after every version it published
+  /// carries a non-Pending stamp (file-header invariant 3), so a
+  /// Pending observation *after* the hazard/era protection is installed
+  /// proves the retire — if it happens at all — happens after the
+  /// protection is visible to reclamation.
+  std::uint64_t stampOf(guard_type &G, VNode *VN) {
+    const std::uint64_t S = vr(VN).Stamp.load(std::memory_order_seq_cst);
+    if (S != SnapshotRegistry::Pending)
+      return S; // settled or Aborted: immutable from here on
+    const std::uintptr_t CW = G.protect_link(vr(VN).Commit, VSlotC);
+    if (!CW)
+      return Registry.resolve(vr(VN).Stamp); // solo write: help-stamp it
+    const std::uint64_t S2 = vr(VN).Stamp.load(std::memory_order_seq_cst);
+    if (S2 != SnapshotRegistry::Pending)
+      return S2; // settled/aborted while we protected the record
+    const std::uint64_t CS = Registry.resolveCommit(cr(toC(CW)).Stamp);
+    if (CS == SnapshotRegistry::Unpublished)
+      return SnapshotRegistry::Pending; // not yet committed: do not cache
+    // Aborted or settled: cache into the version (first CAS wins; every
+    // helper caches the same value, so a lost race is benign).
+    std::uint64_t Exp = SnapshotRegistry::Pending;
+    vr(VN).Stamp.compare_exchange_strong(Exp, CS, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst);
+    return CS;
+  }
+
+  /// Kills the unpublished transaction owning head version \p V: CASes
+  /// its commit word Unpublished -> Aborted so this writer need not wait
+  /// for the transaction to finish publishing (solo writes stay
+  /// lock-free; transactions are obstruction-free against each other).
+  /// A lost CAS means the committer opened the record (Pending) or
+  /// another writer killed it first — either way the next `stampOf`
+  /// settles. The stamp re-check after protecting the record is the
+  /// same lifetime argument as in `stampOf`.
+  void killUnpublished(guard_type &G, VNode *VN) {
+    const std::uintptr_t CW = G.protect_link(vr(VN).Commit, VSlotC);
+    if (!CW)
+      return;
+    if (vr(VN).Stamp.load(std::memory_order_seq_cst) !=
+        SnapshotRegistry::Pending)
+      return;
+    std::uint64_t Exp = SnapshotRegistry::Unpublished;
+    cr(toC(CW)).Stamp.compare_exchange_strong(Exp, SnapshotRegistry::Aborted,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_seq_cst);
+  }
+
+  /// Unpublishes an aborted head version (stamp already cached to
+  /// Aborted by `stampOf`): swings `VHead` past it when older versions
+  /// exist, or dead-marks the key when the aborted version is the whole
+  /// chain (a killed fresh-key insert leaves nothing visible, which is
+  /// exactly the settled-tombstone unlink shape). The single CAS winner
+  /// retires; losers raced another unpublisher or a dead-mark and just
+  /// retry through their caller. \p Hd is the protected, untagged head
+  /// word.
+  void unpublishAbortedHead(guard_type &G, KNode *KN, std::uintptr_t Hd,
+                            std::size_t S, std::uint64_t H,
+                            const Probe &P) {
+    VNode *HeadV = toV(Hd);
+    // Immutable for an aborted head: aborted versions are never a trim
+    // boundary (never settled), so nothing exchanges this link until the
+    // unpublish CAS below removes the node from the chain.
+    const std::uintptr_t Old = vr(HeadV).Older.load(std::memory_order_seq_cst);
+    std::uintptr_t Expected = Hd;
+    if (Old) {
+      if (kr(KN).VHead.compare_exchange_strong(Expected, Old,
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_seq_cst))
+        retireVersion(G, HeadV);
+      return;
+    }
+    if (kr(KN).VHead.compare_exchange_strong(Expected, Hd | Tag,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_seq_cst))
+      Index->helpUnlink(G, S, rawK(KN), H, P);
+  }
+
+  /// Settles \p KN's chain head so an append may go above it (invariant
+  /// 1 in the file header): helps solo-pending stamps, kills unpublished
+  /// transactions, unpublishes aborted heads. Returns false when the
+  /// caller must re-find the key (it died or lost a race); on true,
+  /// \p HdOut is the protected (slot A) head word — possibly 0 for an
+  /// empty chain — and \p StampOut its settled stamp (0 when empty).
+  bool settleHeadForWrite(guard_type &G, KNode *KN, std::size_t S,
+                          std::uint64_t H, const Probe &P,
+                          std::uintptr_t &HdOut, std::uint64_t &StampOut) {
+    for (;;) {
+      const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+      if (Hd & Tag) {
+        Index->helpUnlink(G, S, rawK(KN), H, P);
+        return false;
+      }
+      VNode *HeadV = toV(Hd);
+      if (!HeadV) {
+        HdOut = 0;
+        StampOut = 0;
+        return true;
+      }
+      const std::uint64_t St = stampOf(G, HeadV);
+      if (St == SnapshotRegistry::Pending) {
+        killUnpublished(G, HeadV);
+        continue;
+      }
+      if (St == SnapshotRegistry::Aborted) {
+        unpublishAbortedHead(G, KN, Hd, S, H, P);
+        continue;
+      }
+      HdOut = Hd;
+      StampOut = St;
+      return true;
+    }
+  }
+
   /// Shared write path of put (Tomb=false, \p Val set) and erase
   /// (Tomb=true, \p Val null). Returns true when the key had no live
   /// binding before this write.
@@ -719,14 +1071,11 @@ private:
         continue;
       }
       KNode *KN = toK(Pos.CurrRaw);
-      const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
-      if (Hd & Tag) {
-        // Key is logically removed but not yet unlinked: help, then
-        // retry (a put re-inserts a fresh key node; an erase finds
-        // nothing).
-        Index->helpUnlink(G, S, Pos.CurrRaw, H, P);
-        continue;
-      }
+      std::uintptr_t Hd;
+      std::uint64_t HdStamp;
+      if (!settleHeadForWrite(G, KN, S, H, P, Hd, HdStamp))
+        continue; // key died (or is dying): re-find — a put re-inserts
+                  // a fresh key node, an erase finds nothing
       VNode *HeadV = toV(Hd);
       const bool WasLive = HeadV && !vr(HeadV).Tombstone;
       if (Tomb && !WasLive)
@@ -756,6 +1105,248 @@ private:
     return Result;
   }
 
+  //===------------------------------------------------------------------===//
+  // Transaction commit engine (driven by kv/txn.h)
+  //===------------------------------------------------------------------===//
+
+  /// Outcome of publishing one write-set entry.
+  struct PublishResult {
+    /// The appended version; null for a no-op entry (an erase of an
+    /// absent or already-dead key publishes nothing).
+    VNode *Published = nullptr;
+    /// First-writer-wins: the key's settled head stamp moved past the
+    /// transaction's read stamp, so the commit must abort.
+    bool Conflict = false;
+  };
+
+  /// Publishes one version for \p Key under commit record \p C (null
+  /// for a conflict-checked solo write): settles the head, reports a
+  /// conflict when its settled stamp exceeds \p ReadStamp, otherwise
+  /// appends a version carrying \p C with its stamp left Pending. An
+  /// *absent* key never conflicts: unlinking a key requires its
+  /// tombstone to settle at or below the trim floor, and the caller's
+  /// live snapshot pins the floor at or below \p ReadStamp — so any
+  /// post-ReadStamp write would still be in the chain. For C == null
+  /// the caller resolves the published stamp itself.
+  PublishResult publishChecked(guard_type &G, const K &Key,
+                               const std::optional<V> &Val,
+                               std::uint64_t H, CNode *C,
+                               std::uint64_t ReadStamp) {
+    const std::size_t S = shardOf(H);
+    const Probe P{itemSoKey(H), &Key};
+    const bool Tomb = !Val.has_value();
+    const std::uintptr_t CRaw = C ? rawC(C) : 0;
+    VNode *FreshV = nullptr;
+    KNode *FreshK = nullptr;
+    PublishResult R;
+    for (;;) {
+      const typename Index_t::Position Pos =
+          Index->find(G, S, H, P, /*InitBuckets=*/true);
+      if (!Pos.Found) {
+        if (Tomb)
+          break; // erase of an absent key: nothing to publish
+        if (!FreshV)
+          FreshV = makeVersion(G, &*Val, false, 0, CRaw);
+        else
+          vr(FreshV).Older.store(0, std::memory_order_relaxed);
+        if (!FreshK)
+          FreshK = makeKey(G, Key, P.SoKey, rawV(FreshV));
+        else
+          kr(FreshK).VHead.store(rawV(FreshV), std::memory_order_relaxed);
+        protectSelf(G, FreshV);
+        if (Index->insertAt(G, S, Pos, rawK(FreshK))) {
+          R.Published = FreshV;
+          FreshV = nullptr;
+          FreshK = nullptr;
+          break;
+        }
+        continue;
+      }
+      KNode *KN = toK(Pos.CurrRaw);
+      std::uintptr_t Hd;
+      std::uint64_t HdStamp;
+      if (!settleHeadForWrite(G, KN, S, H, P, Hd, HdStamp))
+        continue;
+      if (HdStamp > ReadStamp) {
+        R.Conflict = true;
+        break;
+      }
+      VNode *HeadV = toV(Hd);
+      if (Tomb && (!HeadV || vr(HeadV).Tombstone))
+        break; // erase of a dead key: nothing to publish
+      if (!FreshV)
+        FreshV = makeVersion(G, Val ? &*Val : nullptr, Tomb, Hd, CRaw);
+      else
+        vr(FreshV).Older.store(Hd, std::memory_order_relaxed);
+      std::uintptr_t Expected = Hd;
+      protectSelf(G, FreshV);
+      if (kr(KN).VHead.compare_exchange_strong(Expected, rawV(FreshV),
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_seq_cst)) {
+        R.Published = FreshV;
+        FreshV = nullptr;
+        break;
+      }
+      // Lost the append race; re-find, re-check the conflict, retry.
+    }
+    if (FreshV)
+      discardVersion(G, FreshV);
+    if (FreshK)
+      discardKey(G, FreshK);
+    return R;
+  }
+
+  /// Commit-path settle sweep for one published entry: re-find the key
+  /// and walk it at the commit stamp \p T. `stampOf` settles our
+  /// version through the record when the walk meets it (the cache CAS
+  /// *is* the settle); a missing key or an already-buried version means
+  /// another thread settled it first — burial, trim, and unlink all
+  /// require a settled stamp. Never touches the stored `VNode*`
+  /// directly: the version may have been settled, trimmed, and its
+  /// address recycled, so the only safe route back is a protected walk.
+  void settlePublished(guard_type &G, const K &Key, std::uint64_t H,
+                       std::uint64_t T) {
+    const Probe P{itemSoKey(H), &Key};
+    const typename Index_t::Position Pos =
+        Index->find(G, shardOf(H), H, P, /*InitBuckets=*/false);
+    if (Pos.Found)
+      (void)readAt(G, toK(Pos.CurrRaw), T);
+  }
+
+  /// Abort-path sweep for one published entry: while the key's head
+  /// still carries our commit record, cache the Aborted stamp into it
+  /// and unpublish it. A head not carrying \p C proves our version was
+  /// already unpublished (aborted versions are never buried, and the
+  /// record's address cannot be recycled while we still own it — so the
+  /// `Commit` word is a reliable identity even if the version node's
+  /// address was reused).
+  void abortPublished(guard_type &G, const K &Key, std::uint64_t H,
+                      CNode *C) {
+    const std::size_t S = shardOf(H);
+    const Probe P{itemSoKey(H), &Key};
+    for (;;) {
+      const typename Index_t::Position Pos =
+          Index->find(G, S, H, P, /*InitBuckets=*/false);
+      if (!Pos.Found)
+        return; // key unlinked: our version was unpublished first
+      KNode *KN = toK(Pos.CurrRaw);
+      const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+      if (Hd & Tag)
+        return; // dead-marked (possibly by our version's unpublisher)
+      VNode *HeadV = toV(Hd);
+      if (!HeadV ||
+          vr(HeadV).Commit.load(std::memory_order_seq_cst) != rawC(C))
+        return; // our version is no longer the head: already handled
+      const std::uint64_t St = stampOf(G, HeadV);
+      if (St != SnapshotRegistry::Aborted)
+        return; // cannot happen for an aborted record; bail defensively
+      unpublishAbortedHead(G, KN, Hd, S, H, P);
+      // Loop: retry until the head no longer carries our record.
+    }
+  }
+
+  /// Commits a deduplicated, buffered write set atomically — the
+  /// `kv/txn.h` engine. \p ReadStamp is the transaction's snapshot
+  /// version; the caller must keep that snapshot live across the call
+  /// (it drives first-writer-wins conflict detection *and* pins the
+  /// trim floor under the in-flight chain heads). \p Entry carries
+  /// `.Key` (K), `.Val` (std::optional<V>, nullopt = erase) and
+  /// `.Hash`. Returns the commit stamp — every published version
+  /// becomes visible at it atomically — or nullopt when the commit
+  /// aborted on a conflict or a racing writer's kill.
+  template <typename Entry>
+  std::optional<std::uint64_t>
+  commitWriteSet(thread_id Tid, std::uint64_t ReadStamp,
+                 const std::vector<Entry> &Set) {
+    auto G = Dom->enter(Tid);
+    if (Set.size() == 1) {
+      // Solo fast path: a one-entry batch is atomic by construction —
+      // a conflict-checked write, no commit record, per-key resolve.
+      const Entry &E = Set.front();
+      const PublishResult R =
+          publishChecked(G, E.Key, E.Val, E.Hash, /*C=*/nullptr, ReadStamp);
+      if (R.Conflict)
+        return std::nullopt;
+      if (!R.Published)
+        return ReadStamp; // no-op erase: trivially committed
+      const std::uint64_t T = Registry.resolve(vr(R.Published).Stamp);
+      const Probe P{itemSoKey(E.Hash), &E.Key};
+      const typename Index_t::Position Pos =
+          Index->find(G, shardOf(E.Hash), E.Hash, P, /*InitBuckets=*/false);
+      if (Pos.Found)
+        trimChain(G, toK(Pos.CurrRaw), shardOf(E.Hash), E.Hash, P);
+      return T;
+    }
+
+    CNode *C = makeCommit(G);
+    std::vector<bool> Published(Set.size(), false);
+    bool Doomed = false;
+    for (std::size_t I = 0; I < Set.size() && !Doomed; ++I) {
+      // A racing writer may have killed the record already; stop
+      // publishing born-dead versions once that is visible.
+      if (cr(C).Stamp.load(std::memory_order_seq_cst) ==
+          SnapshotRegistry::Aborted) {
+        Doomed = true;
+        break;
+      }
+      const PublishResult R =
+          publishChecked(G, Set[I].Key, Set[I].Val, Set[I].Hash, C, ReadStamp);
+      if (R.Conflict)
+        Doomed = true;
+      else
+        Published[I] = R.Published != nullptr;
+    }
+
+    std::uint64_t T = 0;
+    bool Committed = false;
+    if (!Doomed) {
+      // The whole write set is in the chains: open the record for
+      // helping. Losing this CAS means a writer killed the record
+      // between our last publish and here — abort.
+      std::uint64_t Exp = SnapshotRegistry::Unpublished;
+      if (cr(C).Stamp.compare_exchange_strong(Exp, SnapshotRegistry::Pending,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_seq_cst)) {
+        // One tick stamps the entire batch (helpers CAS benignly).
+        T = Registry.resolveCommit(cr(C).Stamp);
+        Committed = true;
+      }
+    }
+    if (!Committed) {
+      // Conflict or killed: make the terminal state explicit (a no-op
+      // when a killer already wrote it).
+      std::uint64_t Exp = SnapshotRegistry::Unpublished;
+      cr(C).Stamp.compare_exchange_strong(Exp, SnapshotRegistry::Aborted,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst);
+    }
+    // Invariant 3: every published version's stamp must leave Pending
+    // before the record is retired.
+    for (std::size_t I = 0; I < Set.size(); ++I) {
+      if (!Published[I])
+        continue;
+      if (Committed)
+        settlePublished(G, Set[I].Key, Set[I].Hash, T);
+      else
+        abortPublished(G, Set[I].Key, Set[I].Hash, C);
+    }
+    retireCommit(G, C);
+    if (!Committed)
+      return std::nullopt;
+    for (std::size_t I = 0; I < Set.size(); ++I) {
+      if (!Published[I])
+        continue;
+      const Probe P{itemSoKey(Set[I].Hash), &Set[I].Key};
+      const typename Index_t::Position Pos = Index->find(
+          G, shardOf(Set[I].Hash), Set[I].Hash, P, /*InitBuckets=*/false);
+      if (Pos.Found)
+        trimChain(G, toK(Pos.CurrRaw), shardOf(Set[I].Hash), Set[I].Hash, P);
+    }
+    return T;
+  }
+
+  friend class Txn<Scheme, K, V>;
+
   /// Trims \p KN's version-chain suffix past the oldest live snapshot:
   /// walks from the head to the *boundary* (the newest version whose
   /// stamp is at or below the trim floor — exactly the version the
@@ -774,17 +1365,38 @@ private:
     if (!Cur)
       return;
     unsigned A = VSlotA, B = VSlotB;
-    std::uint64_t CurStamp = Registry.resolve(vr(Cur).Stamp);
+    std::uint64_t CurStamp = stampOf(G, Cur);
+    if (CurStamp == SnapshotRegistry::Aborted) {
+      // A killed transaction's head: unpublish it instead of trimming
+      // (compact's hygiene pass; writers do the same before appending).
+      // Versions below it stay until the next trim reaches them.
+      unpublishAbortedHead(G, KN, Hd, S, H, P);
+      return;
+    }
     std::uint64_t Floor = Registry.minLive();
     for (;;) {
-      while (CurStamp > Floor) {
+      // An unsettled head (Pending: a solo stamp being helped resolves
+      // above, so only an unpublished/in-flight transaction remains) is
+      // never a boundary — it is invisible, and the version below it is
+      // still what every reader sees. `!settled` also keeps Aborted out
+      // of the boundary, though one can only be at the head.
+      while (!SnapshotRegistry::settled(CurStamp) || CurStamp > Floor) {
         const std::uintptr_t Nxt = G.protect_link(vr(Cur).Older, B);
+        if (CurStamp == SnapshotRegistry::Pending &&
+            vr(Cur).Stamp.load(std::memory_order_seq_cst) ==
+                SnapshotRegistry::Aborted)
+          return; // the txn died under us: Nxt may be a stale link into
+                  // an unpublished-and-retired node's suffix — bail, a
+                  // later write or compact pass trims this chain
         VNode *N = toV(Nxt);
         if (!N)
           return; // no version at or below the floor: nothing to trim
         Cur = N;
         std::swap(A, B);
-        CurStamp = Registry.resolve(vr(Cur).Stamp);
+        CurStamp = stampOf(G, Cur);
+        if (CurStamp == SnapshotRegistry::Aborted)
+          return; // aborted nodes live only at the head; a new head
+                  // means the chain changed under us — bail
       }
       // Confirm the boundary against a floor scanned *after* its stamp
       // settled. Resolving stamps mid-walk ticks the clock, and a
@@ -821,26 +1433,48 @@ private:
   /// The snapshot read: newest version of \p KN with stamp <= \p At,
   /// or null when the key has no visible binding (absent, or tombstoned
   /// at the cut). Pending stamps are resolved (helped) before the
-  /// comparison, which is what pins every version's visibility the
-  /// first time any reader meets it. The returned record stays protected
-  /// (slot A or B) until the next version-chain operation on this guard.
+  /// comparison — through the shared commit record for transactional
+  /// versions — which is what pins every version's visibility the first
+  /// time any reader meets it. Unpublished-transaction versions read as
+  /// +inf (invisible) and the walk descends past them; meeting an
+  /// aborted version restarts the walk from the head, because the
+  /// aborted node is about to be (or was) unpublished and links read
+  /// through it may be stale. Each restart implies another thread
+  /// finished a kill or unpublish, so progress is preserved. The
+  /// returned record stays protected (slot A or B) until the next
+  /// version-chain operation on this guard.
   VNode *readAt(guard_type &G, KNode *KN, std::uint64_t At) {
-    const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
-    if (Hd & Tag)
-      return nullptr; // removed: every live snapshot saw the tombstone
-    VNode *Cur = toV(Hd);
-    unsigned A = VSlotA, B = VSlotB;
-    while (Cur) {
-      if (Registry.resolve(vr(Cur).Stamp) <= At) {
-        if (vr(Cur).Tombstone)
-          return nullptr;
-        return Cur;
+    for (;;) {
+      const std::uintptr_t Hd = G.protect_link(kr(KN).VHead, VSlotA);
+      if (Hd & Tag)
+        return nullptr; // removed: every live snapshot saw the tombstone
+      VNode *Cur = toV(Hd);
+      unsigned A = VSlotA, B = VSlotB;
+      bool Restart = false;
+      while (Cur) {
+        const std::uint64_t St = stampOf(G, Cur);
+        if (St == SnapshotRegistry::Aborted) {
+          Restart = true;
+          break;
+        }
+        if (St <= At) { // settled at or below the cut (Pending is +inf)
+          if (vr(Cur).Tombstone)
+            return nullptr;
+          return Cur;
+        }
+        const std::uintptr_t Nxt = G.protect_link(vr(Cur).Older, B);
+        if (St == SnapshotRegistry::Pending &&
+            vr(Cur).Stamp.load(std::memory_order_seq_cst) ==
+                SnapshotRegistry::Aborted) {
+          Restart = true; // killed under us: Nxt may be stale
+          break;
+        }
+        Cur = toV(Nxt);
+        std::swap(A, B);
       }
-      const std::uintptr_t Nxt = G.protect_link(vr(Cur).Older, B);
-      Cur = toV(Nxt);
-      std::swap(A, B);
+      if (!Restart)
+        return nullptr; // key did not exist yet at the snapshot
     }
-    return nullptr; // key did not exist yet at the snapshot
   }
 
   /// Shared body of `scan`/`scan_prefix`: one split-ordered walk per

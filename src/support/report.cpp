@@ -100,7 +100,7 @@ void Report::emitPreamble() {
                  "mops_mean,mops_stddev,mops_min,mops_max,"
                  "avg_unreclaimed_mean,avg_unreclaimed_max,"
                  "peak_unreclaimed_max,lat_p50_ns_mean,lat_p99_ns_mean,"
-                 "total_ops,wall_sec\n");
+                 "abort_pct_mean,total_ops,wall_sec\n");
   } else if (Fmt == Format::Human) {
     std::fprintf(Out, "%s — git %s, %s (%s)\n", Meta.Tool.c_str(),
                  Meta.GitSha.c_str(), Meta.Compiler.c_str(),
@@ -130,13 +130,14 @@ void Report::addPoint(const DataPoint &P) {
 void Report::emitCsvPoint(const DataPoint &P) {
   std::fprintf(Out,
                "%s,%s,%s,%s,%s,%u,%zu,%.4f,%.4f,%.4f,%.4f,%.1f,%.1f,%.0f,"
-               "%.1f,%.1f,%llu,%.3f\n",
+               "%.1f,%.1f,%.2f,%llu,%.3f\n",
                P.Suite.c_str(), P.Panel.c_str(), P.Structure.c_str(),
                P.Mix.c_str(), P.Scheme.c_str(), P.Threads, repeatsOf(P),
                P.Mops.mean(), P.Mops.stddev(), P.Mops.min(), P.Mops.max(),
                P.AvgUnreclaimed.mean(), P.AvgUnreclaimed.max(),
                P.PeakUnreclaimed.max(), P.LatP50Ns.mean(), P.LatP99Ns.mean(),
-               static_cast<unsigned long long>(P.TotalOps), P.WallSec);
+               P.AbortPct.mean(), static_cast<unsigned long long>(P.TotalOps),
+               P.WallSec);
   std::fflush(Out);
 }
 
@@ -156,6 +157,8 @@ void Report::emitHumanPoint(const DataPoint &P) {
   if (P.LatP50Ns.count() || P.LatP99Ns.count())
     std::fprintf(Out, "   lat p50 %8.0f ns p99 %8.0f ns", P.LatP50Ns.mean(),
                  P.LatP99Ns.mean());
+  if (P.AbortPct.count())
+    std::fprintf(Out, "   abort %5.2f%%", P.AbortPct.mean());
   std::fputc('\n', Out);
   std::fflush(Out);
 }
@@ -268,6 +271,8 @@ std::string Report::renderJson(double WallSec) const {
       writeStats(W, "lat_p50_ns", P.LatP50Ns);
       writeStats(W, "lat_p99_ns", P.LatP99Ns);
     }
+    if (P.AbortPct.count())
+      writeStats(W, "abort_pct", P.AbortPct);
     W.key("total_ops").value(P.TotalOps);
     W.key("wall_sec").value(P.WallSec);
     W.endObject();

@@ -84,6 +84,10 @@ struct DataPoint {
   /// the `lat_*` objects only when present.
   RunStats LatP50Ns;
   RunStats LatP99Ns;
+  /// Optional abort rate in percent (kv-txn panels): per repeat, the
+  /// share of commit attempts that aborted on conflict. Empty for
+  /// suites without an abort notion; emitted only when present.
+  RunStats AbortPct;
   uint64_t TotalOps = 0;    ///< raw operations summed over repeats
   double WallSec = 0;       ///< measured wall time summed over repeats
 };

@@ -350,6 +350,7 @@ std::string renderReport(report::Format F) {
     Pt.Scheme = "hyalines";
     Pt.LatP50Ns.add(120.0);
     Pt.LatP99Ns.add(900.0);
+    Pt.AbortPct.add(12.5); // kv-txn panels: abort rate rides along
     Rep.addPoint(Pt);
 
     report::QualRow Row;
@@ -408,6 +409,17 @@ TEST(ReportJson, LatencyStatsEmittedOnlyWhenPresent) {
   EXPECT_NE(Doc.find("900"), std::string::npos);
 }
 
+TEST(ReportJson, AbortStatsEmittedOnlyWhenPresent) {
+  const std::string Doc = renderReport(report::Format::Json);
+  // Only the second point carries an abort rate (kv-txn panels).
+  std::size_t Count = 0;
+  for (std::size_t At = Doc.find("\"abort_pct\""); At != std::string::npos;
+       At = Doc.find("\"abort_pct\"", At + 1))
+    ++Count;
+  EXPECT_EQ(Count, 1u);
+  EXPECT_NE(Doc.find("12.5"), std::string::npos);
+}
+
 TEST(ReportJson, StatsRoundTrip) {
   const std::string Doc = renderReport(report::Format::Json);
   // mean of {1.5, 2.5}, and both raw samples, must appear.
@@ -431,8 +443,9 @@ TEST(ReportCsv, HeaderAndRows) {
   EXPECT_NE(
       Doc.find("suite,panel,structure,mix,scheme,threads,repeats,mops_mean"),
       std::string::npos);
-  EXPECT_NE(Doc.find("lat_p50_ns_mean,lat_p99_ns_mean"), std::string::npos)
-      << "csv header must carry the latency columns";
+  EXPECT_NE(Doc.find("lat_p50_ns_mean,lat_p99_ns_mean,abort_pct_mean"),
+            std::string::npos)
+      << "csv header must carry the latency and abort columns";
   EXPECT_NE(Doc.find("hashmap,fig11b+12b,hashmap,write,epoch,8,2,2.0000"),
             std::string::npos);
   EXPECT_NE(Doc.find("# git_sha="), std::string::npos);

@@ -33,6 +33,7 @@ test -f "$PREFIX/include/lfsmr/impl/kv/snapshot_registry.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/codec.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/shard_index.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/scan.h"
+test -f "$PREFIX/include/lfsmr/impl/kv/txn.h"
 test -f "$PREFIX/lib/cmake/lfsmr/lfsmrConfig.cmake"
 test -f "$PREFIX/lib/cmake/lfsmr/lfsmrConfigVersion.cmake"
 
