@@ -24,6 +24,7 @@
 #include "smr/scheme_list.h"
 #include "support/barrier.h"
 #include "support/random.h"
+#include "support/workload.h"
 
 #include <algorithm>
 #include <atomic>
@@ -948,6 +949,405 @@ void runKvSnapCycleSuite(const CommandLine &Cmd, report::Report &Rep) {
 }
 
 //===----------------------------------------------------------------------===//
+// kv-serve: serving-realism workloads (zipf skew, churn, oversub, stalls)
+//===----------------------------------------------------------------------===//
+
+struct KvServeOptions {
+  SweepOptions Sweep;
+  double ZipfTheta; ///< skew of every panel's key picks, in (0, 1)
+};
+
+/// One repeat of a kv-serve panel, as its runner hands it back to the
+/// shared point-accumulation driver.
+struct ServeRepeat {
+  double Mops = 0;
+  uint64_t Ops = 0;
+  double Elapsed = 0;
+  double AvgUnreclaimed = 0;
+  double PeakUnreclaimed = 0;
+  RunStats Lat; ///< merged strided per-op ns samples (may be empty)
+};
+
+/// Folds the sampled unreclaimed series of one repeat; finish() falls
+/// back to the end-of-run residual when the run was too short to sample.
+struct UnreclaimedSampler {
+  double Sum = 0;
+  int64_t Peak = 0;
+  uint64_t Samples = 0;
+
+  void take(int64_t U) {
+    Sum += static_cast<double>(U);
+    if (U > Peak)
+      Peak = U;
+    ++Samples;
+  }
+
+  void finish(ServeRepeat &Rr, int64_t Residual) const {
+    Rr.AvgUnreclaimed = Samples ? Sum / static_cast<double>(Samples)
+                                : static_cast<double>(Residual);
+    Rr.PeakUnreclaimed = Samples ? static_cast<double>(Peak)
+                                 : static_cast<double>(Residual);
+  }
+};
+
+void mergeReservoirs(const std::vector<LatReservoir> &Lat, ServeRepeat &Rr) {
+  for (const LatReservoir &L : Lat)
+    for (const double V : L.samples())
+      Rr.Lat.add(V);
+}
+
+/// Stride between latency-sampled serve ops (power of two), matching the
+/// txn/snap-cycle discipline.
+constexpr uint64_t ServeLatStride = 64;
+
+/// One serving thread over zipf-ranked u64 keys. Read-heavy models the
+/// cache-serving front (90g/8p/2e); write-heavy models ingest pressure
+/// (50p/30e/20g) — the stall-serve panel's churn side. Every
+/// ServeLatStride-th op is latency-timed into \p Lat.
+template <typename S>
+uint64_t kvServeMixWorker(kv::Store<S> &Db,
+                          const workload::ZipfianGenerator &Z,
+                          LatReservoir &Lat, bool WriteHeavy, unsigned Tid,
+                          uint64_t Seed, std::atomic<bool> &Stop) {
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      const uint64_t K = Z.next(Rng);
+      const bool Timed = (Ops & (ServeLatStride - 1)) == 0;
+      std::chrono::steady_clock::time_point T0;
+      if (Timed)
+        T0 = std::chrono::steady_clock::now();
+      if (WriteHeavy) {
+        if (Rng.nextPercent(50))
+          Db.put(Tid, K, K * 2);
+        else if (Rng.nextPercent(60))
+          Db.erase(Tid, K);
+        else
+          (void)Db.get(Tid, K);
+      } else {
+        if (Rng.nextPercent(90))
+          (void)Db.get(Tid, K);
+        else if (Rng.nextPercent(80))
+          Db.put(Tid, K, K * 2);
+        else
+          Db.erase(Tid, K);
+      }
+      if (Timed)
+        Lat.record(nsSince(T0));
+    }
+  }
+  return Ops;
+}
+
+/// One serving thread over zipf-ranked *string* keys with values sized
+/// from \p Dist (80g/20p): the panel that prices variable-size codec
+/// records under skew.
+template <typename S>
+uint64_t kvServeStringWorker(kv::Store<S, std::string, std::string> &Db,
+                             const workload::ZipfianGenerator &Z,
+                             const workload::ValueSizeDist &Dist,
+                             LatReservoir &Lat, unsigned Tid, uint64_t Seed,
+                             std::atomic<bool> &Stop) {
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      const std::string Key = kvStringKey(Z.next(Rng));
+      const bool Timed = (Ops & (ServeLatStride - 1)) == 0;
+      std::chrono::steady_clock::time_point T0;
+      if (Timed)
+        T0 = std::chrono::steady_clock::now();
+      if (Rng.nextPercent(80))
+        (void)Db.get(Tid, Key);
+      else
+        Db.put(Tid, Key, std::string(Dist.sample(Rng), 'v'));
+      if (Timed)
+        Lat.record(nsSince(T0));
+    }
+  }
+  return Ops;
+}
+
+/// One churn *session*: runs on a fresh OS thread (workload::runSessioned
+/// spawns one per session), mixes zipf point ops with snapshot read
+/// bursts, and exits after a bounded quota so the slot respawns — the
+/// join/leave pattern that recycles snapshot-registry slots and
+/// thread_local hints mid-run. The burst open+reads+close is the timed
+/// unit.
+template <typename S>
+uint64_t kvServeChurnSession(kv::Store<S> &Db,
+                             const workload::ZipfianGenerator &Z,
+                             LatReservoir &Lat, unsigned Tid, uint64_t Seed,
+                             const std::atomic<bool> &Stop) {
+  constexpr uint64_t SessionQuota = 4096;
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < SessionQuota) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      if ((Ops & 255) == 0) {
+        const auto T0 = std::chrono::steady_clock::now();
+        kv::snapshot Snap = Db.open_snapshot();
+        for (unsigned J = 0; J < 16; ++J)
+          (void)Db.get(Tid, Z.next(Rng), Snap);
+        Snap.reset();
+        Lat.record(nsSince(T0));
+        Ops += 16;
+      } else if (Rng.nextPercent(70)) {
+        (void)Db.get(Tid, Z.next(Rng));
+      } else {
+        const uint64_t K = Z.next(Rng);
+        Db.put(Tid, K, K * 2);
+      }
+    }
+  }
+  return Ops;
+}
+
+template <typename S> struct KvServeOp {
+  using U64Store = kv::Store<S>;
+  using StrStore = kv::Store<S, std::string, std::string>;
+
+  /// Shared point-accumulation driver: one DataPoint per thread count,
+  /// \p ThreadMul scaling the swept count (the oversub panel runs 4x the
+  /// requested threads — deliberately past hardware_concurrency).
+  /// \p RunOne(Threads, Repeat) executes one measured repeat.
+  template <typename RunFn>
+  static void servePanel(const char *Panel, const char *Mix,
+                         const std::string &Scheme, const KvServeOptions &KO,
+                         report::Report &Rep, unsigned ThreadMul,
+                         RunFn &&RunOne) {
+    for (const int64_t TBase : KO.Sweep.Threads) {
+      const unsigned T = static_cast<unsigned>(TBase) * ThreadMul;
+      report::DataPoint Pt;
+      Pt.Suite = "kv-serve";
+      Pt.Panel = Panel;
+      Pt.Structure = "kv";
+      Pt.Mix = Mix;
+      Pt.Scheme = Scheme;
+      Pt.Threads = T;
+      Pt.ZipfTheta = KO.ZipfTheta;
+      for (unsigned R = 0; R < KO.Sweep.Repeats; ++R) {
+        const ServeRepeat Rr = RunOne(T, R);
+        Pt.Mops.add(Rr.Mops);
+        Pt.AvgUnreclaimed.add(Rr.AvgUnreclaimed);
+        Pt.PeakUnreclaimed.add(Rr.PeakUnreclaimed);
+        if (Rr.Lat.count()) {
+          Pt.LatP50Ns.add(Rr.Lat.percentile(50));
+          Pt.LatP99Ns.add(Rr.Lat.percentile(99));
+        }
+        Pt.TotalOps += Rr.Ops;
+        Pt.WallSec += Rr.Elapsed;
+      }
+      Rep.addPoint(Pt);
+    }
+  }
+
+  static uint64_t workerSeed(const KvServeOptions &KO, unsigned Repeat,
+                             uint64_t Stream) {
+    return SplitMix64(KO.Sweep.Seed + Repeat * 1024 + Stream).next();
+  }
+
+  /// A timed mix repeat over a freshly prefilled u64 store with \p Extra
+  /// reserved scheme thread ids beyond the workers (the stall panel's
+  /// holder occupies one).
+  static ServeRepeat u64MixRepeat(const KvServeOptions &KO, unsigned T,
+                                  unsigned R, bool WriteHeavy, bool Stall) {
+    const SweepOptions &O = KO.Sweep;
+    auto StoreOpts = KvSuiteOp<S>::pointOptions(Stall ? T + 1 : T, O.KeyRange);
+    if (Stall) {
+      // A robust scheme's stall bound is proportional to its detection
+      // thresholds (Hyaline-S frees nothing for a stalled slot until it
+      // falls AckThreshold acks behind, so its plateau sits near 64x
+      // AckThreshold). The library defaults size those for steady state;
+      // a smoke-length window ends before the default trip point and
+      // every scheme would look unbounded. Tighten detection so the
+      // window shows the bound itself, not the pre-trip ramp.
+      StoreOpts.Reclaim.EraFreq = 16;
+      StoreOpts.Reclaim.AckThreshold = 512;
+    }
+    auto Db = std::make_unique<U64Store>(std::move(StoreOpts));
+    for (uint64_t K = 0; K < O.Prefill; ++K)
+      Db->put(0, K, K * 2);
+    const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
+    std::vector<LatReservoir> Lat(T);
+    std::unique_ptr<workload::StalledSnapshotHolder<U64Store>> Holder;
+    if (Stall) {
+      // The holder squats on the reserved id T. It briefly pins the trim
+      // floor with a snapshot (a held snapshot suppresses retirement for
+      // every scheme — chains just grow live), then drops the snapshot
+      // before the measured phase so the window sees retirement at write
+      // rate past a stalled *guard*: the paper's robustness measurement
+      // on the serving surface.
+      Holder =
+          std::make_unique<workload::StalledSnapshotHolder<U64Store>>(*Db, T);
+      Holder->waitUntilHeld();
+      Holder->releaseSnapshot();
+    }
+    ServeRepeat Rr;
+    UnreclaimedSampler U;
+    timedPhaseSampled(
+        T, O.Secs,
+        [&](unsigned Tid, std::atomic<bool> &Stop) {
+          return kvServeMixWorker(*Db, Z, Lat[Tid], WriteHeavy, Tid,
+                                  workerSeed(KO, R, Tid), Stop);
+        },
+        [&] { U.take(Db->stats().unreclaimed); }, Rr.Mops, Rr.Ops,
+        Rr.Elapsed);
+    if (Holder)
+      Holder->release();
+    U.finish(Rr, Db->stats().unreclaimed);
+    mergeReservoirs(Lat, Rr);
+    return Rr;
+  }
+
+  static void run(const std::string &Scheme, const KvServeOptions &KO,
+                  report::Report &Rep) {
+    const SweepOptions &O = KO.Sweep;
+
+    // zipf-hot: skewed read-heavy serving, hot-key contention.
+    servePanel("zipf-hot", "read", Scheme, KO, Rep, 1,
+               [&](unsigned T, unsigned R) {
+                 return u64MixRepeat(KO, T, R, /*WriteHeavy=*/false,
+                                     /*Stall=*/false);
+               });
+
+    // oversub: the same serve mix at 4x the swept thread count —
+    // deliberately past hardware_concurrency (paper Section 6's
+    // oversubscription scenario on the kv surface).
+    servePanel("oversub", "read", Scheme, KO, Rep, 4,
+               [&](unsigned T, unsigned R) {
+                 return u64MixRepeat(KO, T, R, /*WriteHeavy=*/false,
+                                     /*Stall=*/false);
+               });
+
+    // stall-serve: write-heavy serving under a stalled snapshot holder.
+    servePanel("stall-serve", "write", Scheme, KO, Rep, 1,
+               [&](unsigned T, unsigned R) {
+                 return u64MixRepeat(KO, T, R, /*WriteHeavy=*/true,
+                                     /*Stall=*/true);
+               });
+
+    // churn: worker slots join and leave mid-run (fresh OS thread per
+    // session), mixing zipf ops with snapshot bursts. Throughput is
+    // wall-clock — session spawn/join gaps are part of the product.
+    servePanel(
+        "churn", "churn", Scheme, KO, Rep, 1, [&](unsigned T, unsigned R) {
+          auto Db = std::make_unique<U64Store>(
+              KvSuiteOp<S>::pointOptions(T, O.KeyRange));
+          for (uint64_t K = 0; K < O.Prefill; ++K)
+            Db->put(0, K, K * 2);
+          const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
+          std::vector<LatReservoir> Lat(T);
+          ServeRepeat Rr;
+          UnreclaimedSampler U;
+          std::atomic<bool> Stop{false};
+          uint64_t Total = 0;
+          const auto Begin = std::chrono::steady_clock::now();
+          std::thread Driver([&] {
+            Total = workload::runSessioned(
+                T, Stop, [&](unsigned W, unsigned Session) {
+                  return kvServeChurnSession(
+                      *Db, Z, Lat[W], W,
+                      workerSeed(KO, R, W * 8191 + Session), Stop);
+                });
+          });
+          const auto Deadline =
+              Begin + std::chrono::duration<double>(O.Secs);
+          while (std::chrono::steady_clock::now() < Deadline) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            U.take(Db->stats().unreclaimed);
+          }
+          Stop.store(true, std::memory_order_relaxed);
+          Driver.join();
+          Rr.Elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Begin)
+                           .count();
+          Rr.Ops = Total;
+          Rr.Mops =
+              Rr.Elapsed > 0
+                  ? static_cast<double>(Total) / Rr.Elapsed / 1e6
+                  : 0;
+          U.finish(Rr, Db->stats().unreclaimed);
+          mergeReservoirs(Lat, Rr);
+          return Rr;
+        });
+
+    // value-dist: string store, bimodal payload sizes under skew.
+    servePanel(
+        "value-dist", "string", Scheme, KO, Rep, 1,
+        [&](unsigned T, unsigned R) {
+          const workload::ValueSizeDist Dist =
+              workload::ValueSizeDist::bimodal(16, 512, 10);
+          auto Db = std::make_unique<StrStore>(
+              KvSuiteOp<S>::pointOptions(T, O.KeyRange));
+          {
+            Xoshiro256 PrefillRng(O.Seed);
+            for (uint64_t K = 0; K < O.Prefill; ++K)
+              Db->put(0, kvStringKey(K),
+                      std::string(Dist.sample(PrefillRng), 'v'));
+          }
+          const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
+          std::vector<LatReservoir> Lat(T);
+          ServeRepeat Rr;
+          UnreclaimedSampler U;
+          timedPhaseSampled(
+              T, O.Secs,
+              [&](unsigned Tid, std::atomic<bool> &Stop) {
+                return kvServeStringWorker(*Db, Z, Dist, Lat[Tid], Tid,
+                                           workerSeed(KO, R, Tid), Stop);
+              },
+              [&] { U.take(Db->stats().unreclaimed); }, Rr.Mops, Rr.Ops,
+              Rr.Elapsed);
+          U.finish(Rr, Db->stats().unreclaimed);
+          mergeReservoirs(Lat, Rr);
+          return Rr;
+        });
+  }
+};
+
+void runKvServeSuite(const CommandLine &Cmd, report::Report &Rep) {
+  KvServeOptions KO;
+  KO.Sweep = parseSweep(Cmd);
+  // Serving panels multiply threads (oversub runs 4x) and run five
+  // panels per scheme; default to a compact sweep unless --threads asks
+  // otherwise.
+  const bool Full = Cmd.has("full");
+  const unsigned HW = std::thread::hardware_concurrency();
+  std::vector<int64_t> Def;
+  if (Full)
+    Def = {2, 4, 8, 16, 32};
+  else
+    Def = {2, static_cast<int64_t>(HW ? HW : 4)};
+  KO.Sweep.Threads = Cmd.getIntList("threads", Def);
+  checkThreadList(KO.Sweep.Threads);
+  KO.ZipfTheta = Cmd.getDouble("zipf-theta", 0.99);
+  if (!(KO.ZipfTheta > 0.0 && KO.ZipfTheta < 1.0)) {
+    std::fprintf(stderr, "error: --zipf-theta must be in (0, 1)\n");
+    std::exit(2);
+  }
+  for (const std::string &Scheme : KO.Sweep.Schemes)
+    dispatchScheme<KvServeOp>(Scheme, KO, Rep);
+  Rep.note("kv-serve: all panels draw keys zipfian(theta = zipf_theta), "
+           "rank 0 hottest; latency is per-op, sampled every 64th op "
+           "(per snapshot burst for churn)");
+  Rep.note("kv-serve: oversub runs 4x the swept thread count (threads >> "
+           "cores); churn respawns each worker slot on a fresh OS thread "
+           "every 4096-op session (snapshot-slot reuse)");
+  Rep.note("kv-serve: stall-serve parks a reader on a reserved thread — "
+           "its snapshot drops before the window (a held snapshot pins "
+           "chains as live memory for every scheme) but its guard stays "
+           "stalled, so sampled avg/peak unreclaimed is the paper's "
+           "robustness metric on the serving surface: flat for "
+           "hp/he/ibr/hyaline1s, growing for epoch/hyaline/hyaline1/nomm "
+           "(stall stores run EraFreq=16, AckThreshold=512 so detection "
+           "trips inside short windows); hyalines' per-batch birth-era "
+           "tag lets the zipf cold tail drag whole batches into the "
+           "stalled slot, so its Thm-5 bound reads as growth here — see "
+           "ARCHITECTURE.md");
+}
+
+//===----------------------------------------------------------------------===//
 // ablation: Hyaline Slots × MinBatch knob sweep (paper Section 3.2)
 //===----------------------------------------------------------------------===//
 
@@ -1190,10 +1590,10 @@ void runTable1Suite(const CommandLine &, report::Report &Rep) {
 /// can pass one flag vector to every suite.
 const std::vector<std::string> &knownFlags() {
   static const std::vector<std::string> Flags = {
-      "help",    "format",  "out",     "full",     "seed",
-      "threads", "secs",    "repeats", "keyrange", "prefill",
-      "schemes", "ops",     "writers", "sample",   "version",
-      "slots",   "minbatch"};
+      "help",    "format",  "out",      "full",     "seed",
+      "threads", "secs",    "repeats",  "keyrange", "prefill",
+      "schemes", "ops",     "writers",  "sample",   "version",
+      "slots",   "minbatch", "zipf-theta"};
   return Flags;
 }
 
@@ -1265,6 +1665,9 @@ const std::vector<Suite> &lfsmr::bench::allSuites() {
       {"kv-snap-cycle",
        "snapshot open/close latency: one-RMW fast path p50/p99",
        &runKvSnapCycleSuite},
+      {"kv-serve",
+       "serving realism: zipf skew, thread churn, oversub, stalled reader",
+       &runKvServeSuite},
       {"enter-leave", "SMR primitive microbenchmarks (Section 3.2 costs)",
        &runEnterLeaveSuite},
       {"ablation", "Hyaline Slots x MinBatch knob sweep (Section 3.2)",
@@ -1299,6 +1702,8 @@ void lfsmr::bench::printUsage(std::FILE *Out) {
       "  --seed S                  base suite seed (repeat R uses S+R)\n"
       "  --ops N --writers N --sample N   stall-suite churn parameters\n"
       "  --slots 1,2,4 --minbatch 8,64    ablation-suite knob grids\n"
+      "  --zipf-theta T            kv-serve key skew, in (0, 1) "
+      "(default 0.99)\n"
       "  --version                 print version + build git sha, exit\n"
       "  --help                    this message\n");
 }

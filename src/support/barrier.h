@@ -10,6 +10,13 @@
 /// blocking std::barrier would perturb the first milliseconds of short runs
 /// with wakeup latency.
 ///
+/// Waiters spin a bounded budget, then fall back to std::this_thread::yield.
+/// The pure-spin fast path keeps release latency tight when threads have
+/// their own cores; the yield fallback keeps oversubscribed runs (threads
+/// far above hardware_concurrency — the kv-serve `oversub` panel, CI
+/// runners) from burning whole scheduling quanta waiting for a participant
+/// that cannot run until the spinner gets off the core.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LFSMR_SUPPORT_BARRIER_H
@@ -18,6 +25,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <thread>
 
 namespace lfsmr {
 
@@ -32,8 +40,10 @@ public:
   SpinBarrier(const SpinBarrier &) = delete;
   SpinBarrier &operator=(const SpinBarrier &) = delete;
 
-  /// Blocks (spinning) until all participants have arrived. Reusable: the
-  /// same object can serve multiple phases.
+  /// Blocks until all participants have arrived: spins SpinBudget probes,
+  /// then yields between probes so stragglers can be scheduled even when
+  /// participants outnumber cores. Reusable: the same object can serve
+  /// multiple phases.
   void arriveAndWait() {
     const bool MySense = !Sense.load(std::memory_order_relaxed);
     if (Count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -41,8 +51,13 @@ public:
       Sense.store(MySense, std::memory_order_release);
       return;
     }
-    while (Sense.load(std::memory_order_acquire) != MySense)
-      spinPause();
+    std::size_t Spins = 0;
+    while (Sense.load(std::memory_order_acquire) != MySense) {
+      if (++Spins < SpinBudget)
+        spinPause();
+      else
+        std::this_thread::yield();
+    }
   }
 
   /// Emits a CPU pause/yield hint inside spin loops.
@@ -55,6 +70,11 @@ public:
   }
 
 private:
+  /// Spin probes before the first yield: long enough that a same-cycle
+  /// release never yields, short enough that an oversubscribed straggler
+  /// costs microseconds, not a scheduling quantum.
+  static constexpr std::size_t SpinBudget = 1 << 12;
+
   std::atomic<std::size_t> Count;
   const std::size_t Total;
   std::atomic<bool> Sense{false};

@@ -100,7 +100,7 @@ void Report::emitPreamble() {
                  "mops_mean,mops_stddev,mops_min,mops_max,"
                  "avg_unreclaimed_mean,avg_unreclaimed_max,"
                  "peak_unreclaimed_max,lat_p50_ns_mean,lat_p99_ns_mean,"
-                 "abort_pct_mean,total_ops,wall_sec\n");
+                 "abort_pct_mean,zipf_theta,total_ops,wall_sec\n");
   } else if (Fmt == Format::Human) {
     std::fprintf(Out, "%s — git %s, %s (%s)\n", Meta.Tool.c_str(),
                  Meta.GitSha.c_str(), Meta.Compiler.c_str(),
@@ -128,16 +128,21 @@ void Report::addPoint(const DataPoint &P) {
 }
 
 void Report::emitCsvPoint(const DataPoint &P) {
+  // The skew column is empty for points without a zipfian dimension, so
+  // consumers can tell "no skew knob" from any numeric value.
+  char Theta[16] = "";
+  if (P.ZipfTheta >= 0)
+    std::snprintf(Theta, sizeof(Theta), "%.2f", P.ZipfTheta);
   std::fprintf(Out,
                "%s,%s,%s,%s,%s,%u,%zu,%.4f,%.4f,%.4f,%.4f,%.1f,%.1f,%.0f,"
-               "%.1f,%.1f,%.2f,%llu,%.3f\n",
+               "%.1f,%.1f,%.2f,%s,%llu,%.3f\n",
                P.Suite.c_str(), P.Panel.c_str(), P.Structure.c_str(),
                P.Mix.c_str(), P.Scheme.c_str(), P.Threads, repeatsOf(P),
                P.Mops.mean(), P.Mops.stddev(), P.Mops.min(), P.Mops.max(),
                P.AvgUnreclaimed.mean(), P.AvgUnreclaimed.max(),
                P.PeakUnreclaimed.max(), P.LatP50Ns.mean(), P.LatP99Ns.mean(),
-               P.AbortPct.mean(), static_cast<unsigned long long>(P.TotalOps),
-               P.WallSec);
+               P.AbortPct.mean(), Theta,
+               static_cast<unsigned long long>(P.TotalOps), P.WallSec);
   std::fflush(Out);
 }
 
@@ -159,6 +164,8 @@ void Report::emitHumanPoint(const DataPoint &P) {
                  P.LatP99Ns.mean());
   if (P.AbortPct.count())
     std::fprintf(Out, "   abort %5.2f%%", P.AbortPct.mean());
+  if (P.ZipfTheta >= 0)
+    std::fprintf(Out, "   zipf %.2f", P.ZipfTheta);
   std::fputc('\n', Out);
   std::fflush(Out);
 }
@@ -273,6 +280,8 @@ std::string Report::renderJson(double WallSec) const {
     }
     if (P.AbortPct.count())
       writeStats(W, "abort_pct", P.AbortPct);
+    if (P.ZipfTheta >= 0)
+      W.key("zipf_theta").value(P.ZipfTheta);
     W.key("total_ops").value(P.TotalOps);
     W.key("wall_sec").value(P.WallSec);
     W.endObject();

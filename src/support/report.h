@@ -88,6 +88,10 @@ struct DataPoint {
   /// share of commit attempts that aborted on conflict. Empty for
   /// suites without an abort notion; emitted only when present.
   RunStats AbortPct;
+  /// Optional workload skew knob (kv-serve panels): the zipfian theta the
+  /// point ran under. Negative means "no skew dimension"; JSON emits
+  /// `zipf_theta` and csv/human print it only when >= 0.
+  double ZipfTheta = -1.0;
   uint64_t TotalOps = 0;    ///< raw operations summed over repeats
   double WallSec = 0;       ///< measured wall time summed over repeats
 };

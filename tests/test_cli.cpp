@@ -16,7 +16,11 @@
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <initializer_list>
+#include <string>
+#include <thread>
 #include <vector>
 
 using namespace lfsmr;
@@ -93,6 +97,23 @@ TEST(CliLists, IntList) {
   EXPECT_EQ(L[1], 2);
   EXPECT_EQ(L[2], 4);
   EXPECT_EQ(L[3], 8);
+}
+
+TEST(CliLists, OversubscribedThreadCountsPassThrough) {
+  // `--threads` above hardware_concurrency is a first-class request
+  // (the kv-serve oversub scenario: threads >> cores), not a mistake:
+  // the parse layer must hand the counts through without clamping to
+  // the core count.
+  const unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+  const std::string Huge = std::to_string(static_cast<uint64_t>(HW) * 64);
+  auto C = parse({"--threads", ("2," + Huge + ",4096").c_str()});
+  const std::vector<int64_t> L = C.getIntList("threads", {});
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_EQ(L[0], 2);
+  EXPECT_EQ(L[1], static_cast<int64_t>(HW) * 64);
+  EXPECT_EQ(L[2], 4096);
+  EXPECT_GT(L[2], static_cast<int64_t>(HW))
+      << "values past the core count must survive parsing untouched";
 }
 
 TEST(CliLists, IntListSingleElement) {

@@ -23,6 +23,7 @@
 #include "lfsmr/kv.h"
 #include "scheme_fixtures.h"
 #include "support/random.h"
+#include "support/workload.h"
 
 #include "gtest/gtest.h"
 
@@ -673,6 +674,49 @@ TYPED_TEST(KvStore, ConcurrentSnapshotOpenersShareAndGrowSlots) {
     T.join();
   EXPECT_EQ(Bad.load(), 0);
   EXPECT_EQ(Db.live_snapshots(), 0u);
+}
+
+TYPED_TEST(KvStore, ThreadChurnReusesSnapshotSlots) {
+  // Serving churn: worker slots join and leave mid-run (a fresh OS
+  // thread per session via workload::runSessions), each session opening
+  // and closing snapshots. Fresh threads start with no slot hint, so
+  // every session re-walks acquire's slow path at least once; the slot
+  // directory must absorb Workers * Sessions thread lifetimes by
+  // *reusing* released slots — its capacity may grow to cover the
+  // concurrent load of one wave, but must not keep growing across
+  // sessions (that would mean dead threads leak slots).
+  constexpr unsigned Workers = 4, Sessions = 6;
+  typename TestFixture::Store Db(kvTestOptions(Workers));
+  const auto K = [](uint64_t X) { return TestFixture::key(X); };
+  const auto V = [](uint64_t X) { return TestFixture::val(X); };
+  for (uint64_t X = 0; X < 64; ++X)
+    Db.put(0, K(X), V(X));
+
+  std::atomic<int> Bad{0};
+  const auto SessionBody = [&](unsigned W, unsigned) {
+    for (int I = 0; I < 64; ++I) {
+      kv::snapshot Snap = Db.open_snapshot();
+      if (!Db.get(W, K(static_cast<uint64_t>(I) & 63), Snap))
+        ++Bad;
+      if ((I & 15) == 0)
+        Db.put(W, K(static_cast<uint64_t>(I) & 63), V(I)); // move the clock
+    }
+    return uint64_t{64};
+  };
+
+  const uint64_t Total = workload::runSessions(Workers, Sessions, SessionBody);
+
+  EXPECT_EQ(Total, uint64_t{64} * Workers * Sessions);
+  EXPECT_EQ(Bad.load(), 0);
+  EXPECT_EQ(Db.live_snapshots(), 0u)
+      << "every session's snapshots must be released";
+  // At most Workers snapshots are live at once, so the directory needs a
+  // handful of slots regardless of how many threads have come and gone.
+  // 4x the concurrency leaves room for any growth-doubling interleaving;
+  // a slot-per-lifetime leak would blow far past it (24 lifetimes here).
+  EXPECT_LE(Db.registry().slotCapacity(), std::size_t{4} * Workers)
+      << "slot directory must reuse slots across thread churn, not grow "
+         "with the number of thread lifetimes";
 }
 
 TYPED_TEST(KvStore, ResizeChurnStress) {

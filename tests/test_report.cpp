@@ -351,6 +351,7 @@ std::string renderReport(report::Format F) {
     Pt.LatP50Ns.add(120.0);
     Pt.LatP99Ns.add(900.0);
     Pt.AbortPct.add(12.5); // kv-txn panels: abort rate rides along
+    Pt.ZipfTheta = 0.99;   // kv-serve panels: key-skew dimension
     Rep.addPoint(Pt);
 
     report::QualRow Row;
@@ -392,8 +393,9 @@ TEST(ReportJson, SchemaFieldsPresent) {
         "\"panel\"", "\"structure\"", "\"mix\"", "\"scheme\"",
         "\"threads\"", "\"repeats\"", "\"mops\"", "\"avg_unreclaimed\"",
         "\"peak_unreclaimed\"", "\"mean\"", "\"stddev\"", "\"min\"",
-        "\"max\"", "\"p50\"", "\"p99\"", "\"samples\"", "\"total_ops\"",
-        "\"wall_sec\"", "\"table1\"", "\"header_bytes\"", "\"notes\""})
+        "\"max\"", "\"p50\"", "\"p99\"", "\"samples\"", "\"zipf_theta\"",
+        "\"total_ops\"", "\"wall_sec\"", "\"table1\"", "\"header_bytes\"",
+        "\"notes\""})
     EXPECT_NE(Doc.find(Field), std::string::npos) << "missing " << Field;
 }
 
@@ -418,6 +420,18 @@ TEST(ReportJson, AbortStatsEmittedOnlyWhenPresent) {
     ++Count;
   EXPECT_EQ(Count, 1u);
   EXPECT_NE(Doc.find("12.5"), std::string::npos);
+}
+
+TEST(ReportJson, ZipfThetaEmittedOnlyWhenPresent) {
+  const std::string Doc = renderReport(report::Format::Json);
+  // Only the second point carries a skew dimension (kv-serve panels);
+  // the default (negative) must not leak into the document.
+  std::size_t Count = 0;
+  for (std::size_t At = Doc.find("\"zipf_theta\""); At != std::string::npos;
+       At = Doc.find("\"zipf_theta\"", At + 1))
+    ++Count;
+  EXPECT_EQ(Count, 1u);
+  EXPECT_NE(Doc.find("0.99"), std::string::npos);
 }
 
 TEST(ReportJson, StatsRoundTrip) {
@@ -446,6 +460,11 @@ TEST(ReportCsv, HeaderAndRows) {
   EXPECT_NE(Doc.find("lat_p50_ns_mean,lat_p99_ns_mean,abort_pct_mean"),
             std::string::npos)
       << "csv header must carry the latency and abort columns";
+  EXPECT_NE(Doc.find("abort_pct_mean,zipf_theta,total_ops"),
+            std::string::npos)
+      << "csv header must carry the kv-serve skew column";
+  // The second row carries the skew; the first leaves its cell empty.
+  EXPECT_NE(Doc.find(",0.99,"), std::string::npos);
   EXPECT_NE(Doc.find("hashmap,fig11b+12b,hashmap,write,epoch,8,2,2.0000"),
             std::string::npos);
   EXPECT_NE(Doc.find("# git_sha="), std::string::npos);
