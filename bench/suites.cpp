@@ -24,6 +24,7 @@
 #include "smr/scheme_list.h"
 #include "support/barrier.h"
 #include "support/random.h"
+#include "support/telemetry.h"
 #include "support/workload.h"
 
 #include <algorithm>
@@ -335,32 +336,35 @@ void runEnterLeaveSuite(const CommandLine &Cmd, report::Report &Rep) {
 // kv: versioned key-value store (lfsmr::kv) — snapshot reads, write trim
 //===----------------------------------------------------------------------===//
 
-/// Bounded per-thread latency reservoir: strided samples land in a ring
-/// once the cap is reached, so long runs keep late samples without
-/// unbounded memory. Shared by the kv-txn commit-latency panels and the
-/// kv-snap-cycle suite below.
-class LatReservoir {
-public:
-  void record(double Ns) {
-    if (Buf.size() < Cap) {
-      Buf.push_back(Ns);
-      return;
-    }
-    Buf[Next] = Ns;
-    Next = (Next + 1) % Cap;
-  }
-  const std::vector<double> &samples() const { return Buf; }
-
-private:
-  static constexpr std::size_t Cap = std::size_t{1} << 16;
-  std::vector<double> Buf;
-  std::size_t Next = 0;
-};
-
+/// Strided latency samples land in one `telemetry::Histogram` shared by
+/// every worker of a repeat (log-bucketed cells, one relaxed add per
+/// record), replacing the per-thread reservoirs + merge step this file
+/// used to carry: the repeat reads p50/p99 straight off `summarize()`,
+/// the same path `store::stats()` reports. Builds with
+/// `LFSMR_TELEMETRY=OFF` compile the recording away, so the `lat_*`
+/// fields simply stay absent from such reports.
 double nsSince(std::chrono::steady_clock::time_point T0) {
   return std::chrono::duration<double, std::nano>(
              std::chrono::steady_clock::now() - T0)
       .count();
+}
+
+/// Records the nanoseconds since \p T0 into \p H (no-op when telemetry
+/// is compiled out).
+void recordNsSince(telemetry::Histogram &H,
+                   std::chrono::steady_clock::time_point T0) {
+  H.record(static_cast<uint64_t>(nsSince(T0)));
+}
+
+/// Folds one repeat's shared latency histogram into the point: each
+/// repeat contributes its sampled p50/p99. An empty summary (nothing
+/// recorded, or an LFSMR_TELEMETRY=OFF build) leaves the `lat_*` fields
+/// unset rather than reporting zeros.
+void addLatency(report::DataPoint &Pt, const telemetry::histogram_summary &L) {
+  if (L.count) {
+    Pt.LatP50Ns.add(L.p50);
+    Pt.LatP99Ns.add(L.p99);
+  }
 }
 
 /// Workload mixes for the kv suite. Read/write are YCSB-ish point-op
@@ -497,7 +501,8 @@ constexpr uint64_t TxnLatStride = 64;
 /// commit throughput, with the abort share reported separately via
 /// \p Attempts / \p Aborts.
 template <typename S>
-uint64_t kvTxnWorker(kv::Store<S> &Db, LatReservoir &Lat, unsigned Batch,
+uint64_t kvTxnWorker(kv::Store<S> &Db, telemetry::Histogram &Lat,
+                     unsigned Batch,
                      unsigned Tid, uint64_t Seed, uint64_t KeyRange,
                      std::atomic<uint64_t> &Attempts,
                      std::atomic<uint64_t> &Aborts, std::atomic<bool> &Stop) {
@@ -519,7 +524,7 @@ uint64_t kvTxnWorker(kv::Store<S> &Db, LatReservoir &Lat, unsigned Batch,
       if ((Tried & (TxnLatStride - 1)) == 0) {
         const auto T0 = std::chrono::steady_clock::now();
         Ok = Txn.commit(Tid);
-        Lat.record(nsSince(T0));
+        recordNsSince(Lat, T0);
       } else {
         Ok = Txn.commit(Tid);
       }
@@ -576,7 +581,7 @@ template <typename S> struct KvSuiteOp {
               ++Samples;
             },
             Mops, Ops, Elapsed);
-        const memory_stats MS = Db->stats();
+        const telemetry::store_stats MS = Db->stats();
         Pt.Mops.add(Mops);
         Pt.AvgUnreclaimed.add(
             Samples ? SumUnreclaimed / static_cast<double>(Samples)
@@ -586,6 +591,7 @@ template <typename S> struct KvSuiteOp {
                     : static_cast<double>(MS.unreclaimed));
         Pt.TotalOps += Ops;
         Pt.WallSec += Elapsed;
+        Pt.Stats = MS; // last repeat's snapshot rides in the report
       }
       Rep.addPoint(Pt);
     }
@@ -603,8 +609,9 @@ template <typename S> struct KvSuiteOp {
 
   /// One kv-txn data point: \p Batch-key transactions over a prefilled
   /// store. Extends the plain runPanel shape with the per-repeat commit
-  /// latency reservoir merge (p50/p99 over the strided samples of every
-  /// thread) and the abort share of commit attempts.
+  /// latency histogram (p50/p99 over the strided samples of every
+  /// thread, shared concurrent recording) and the abort share of commit
+  /// attempts.
   static void runTxnPanel(const char *Panel, unsigned Batch,
                           const std::string &Scheme, const SweepOptions &O,
                           report::Report &Rep) {
@@ -623,7 +630,7 @@ template <typename S> struct KvSuiteOp {
                                                  O.KeyRange));
         for (uint64_t K = 0; K < O.Prefill; ++K)
           Db->put(0, K, K * 2);
-        std::vector<LatReservoir> Lat(static_cast<std::size_t>(T));
+        telemetry::Histogram Lat;
         std::atomic<uint64_t> Attempts{0}, Aborts{0};
         double Mops = 0, Elapsed = 0;
         uint64_t Ops = 0;
@@ -633,7 +640,7 @@ template <typename S> struct KvSuiteOp {
         timedPhaseSampled(
             static_cast<unsigned>(T), O.Secs,
             [&](unsigned Tid, std::atomic<bool> &Stop) {
-              return kvTxnWorker(*Db, Lat[Tid], Batch, Tid,
+              return kvTxnWorker(*Db, Lat, Batch, Tid,
                                  SplitMix64(O.Seed + R * 1024 + Tid).next(),
                                  O.KeyRange, Attempts, Aborts, Stop);
             },
@@ -645,7 +652,7 @@ template <typename S> struct KvSuiteOp {
               ++Samples;
             },
             Mops, Ops, Elapsed);
-        const memory_stats MS = Db->stats();
+        const telemetry::store_stats MS = Db->stats();
         Pt.Mops.add(Mops);
         Pt.AvgUnreclaimed.add(
             Samples ? SumUnreclaimed / static_cast<double>(Samples)
@@ -653,14 +660,8 @@ template <typename S> struct KvSuiteOp {
         Pt.PeakUnreclaimed.add(
             Samples ? static_cast<double>(PeakUnreclaimed)
                     : static_cast<double>(MS.unreclaimed));
-        RunStats Merged;
-        for (const LatReservoir &L : Lat)
-          for (const double V : L.samples())
-            Merged.add(V);
-        if (Merged.count()) {
-          Pt.LatP50Ns.add(Merged.percentile(50));
-          Pt.LatP99Ns.add(Merged.percentile(99));
-        }
+        addLatency(Pt, Lat.summarize());
+        Pt.Stats = MS;
         const uint64_t A = Attempts.load(std::memory_order_relaxed);
         Pt.AbortPct.add(
             A ? 100.0 *
@@ -767,6 +768,10 @@ void runKvSuite(const CommandLine &Cmd, report::Report &Rep) {
            "mops counts committed writes only, abort_pct is the share of "
            "commit attempts lost to first-writer-wins conflicts, lat_* is "
            "the strided commit-call latency");
+  Rep.note("kv: each point's stats object is the final repeat's "
+           "store::stats() snapshot (scheme accounting, registry "
+           "counters, store histograms); absent counters read 0 when the "
+           "library was built with LFSMR_TELEMETRY=OFF");
 }
 
 //===----------------------------------------------------------------------===//
@@ -782,7 +787,7 @@ constexpr uint64_t SnapLatStride = 64;
 /// (0 = never) advances the version clock from inside the cycle loop,
 /// which strands hints and forces the slow-path fallback — the churn
 /// panel's subject.
-uint64_t snapCycleWorker(kv::SnapshotRegistry &Reg, LatReservoir &Lat,
+uint64_t snapCycleWorker(kv::SnapshotRegistry &Reg, telemetry::Histogram &Lat,
                          uint64_t TickEvery, std::atomic<bool> &Stop) {
   uint64_t Ops = 0;
   while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
@@ -793,7 +798,7 @@ uint64_t snapCycleWorker(kv::SnapshotRegistry &Reg, LatReservoir &Lat,
         const auto T0 = std::chrono::steady_clock::now();
         const auto T = Reg.acquire();
         Reg.release(T);
-        Lat.record(nsSince(T0));
+        recordNsSince(Lat, T0);
       } else {
         const auto T = Reg.acquire();
         Reg.release(T);
@@ -805,7 +810,10 @@ uint64_t snapCycleWorker(kv::SnapshotRegistry &Reg, LatReservoir &Lat,
 
 /// One bare-registry panel (scheme-independent, scheme "-"): open/close
 /// cycles on a shared SnapshotRegistry, p50/p99 per-cycle latency from
-/// the merged per-thread reservoirs of each repeat.
+/// the shared telemetry histogram of each repeat. The point's `stats`
+/// block carries the final repeat's registry counters (slow acquires,
+/// fast rejects, slot capacity), making the one-RMW fast-path hit rate
+/// visible per run: fast hits = cycles - slow_acquires.
 void runSnapCyclePanel(const char *Panel, const char *Mix, uint64_t TickEvery,
                        const SweepOptions &O, report::Report &Rep) {
   for (const int64_t T : O.Threads) {
@@ -819,26 +827,31 @@ void runSnapCyclePanel(const char *Panel, const char *Mix, uint64_t TickEvery,
     for (unsigned R = 0; R < O.Repeats; ++R) {
       kv::SnapshotRegistry Reg(
           std::max<std::size_t>(8, static_cast<std::size_t>(T)));
-      std::vector<LatReservoir> Lat(static_cast<std::size_t>(T));
+      telemetry::Histogram Lat;
       double Mops = 0, Elapsed = 0;
       uint64_t Ops = 0;
       timedPhase(
           static_cast<unsigned>(T), O.Secs,
           [&](unsigned Tid, std::atomic<bool> &Stop) {
-            return snapCycleWorker(Reg, Lat[Tid], TickEvery, Stop);
+            (void)Tid;
+            return snapCycleWorker(Reg, Lat, TickEvery, Stop);
           },
           Mops, Ops, Elapsed);
-      RunStats Merged;
-      for (const LatReservoir &L : Lat)
-        for (const double V : L.samples())
-          Merged.add(V);
       Pt.Mops.add(Mops);
       Pt.AvgUnreclaimed.add(0.0); // no allocation on this path
       Pt.PeakUnreclaimed.add(0.0);
-      Pt.LatP50Ns.add(Merged.percentile(50));
-      Pt.LatP99Ns.add(Merged.percentile(99));
+      addLatency(Pt, Lat.summarize());
       Pt.TotalOps += Ops;
       Pt.WallSec += Elapsed;
+      // No store behind this panel; synthesize the registry's share of
+      // the stats block so the acquire counters still ride the report.
+      const kv::SnapshotRegistry::AcquireStats A = Reg.acquireStats();
+      telemetry::store_stats St{};
+      St.version_clock = Reg.clock();
+      St.snapshot_slots = Reg.slotCapacity();
+      St.slow_acquires = A.SlowAcquires;
+      St.fast_rejects = A.FastRejects;
+      Pt.Stats = St;
     }
     Rep.addPoint(Pt);
   }
@@ -848,8 +861,8 @@ void runSnapCyclePanel(const char *Panel, const char *Mix, uint64_t TickEvery,
 /// open+close cost of each snapshot burst (reads run between the two
 /// timed windows, untimed) — the fast path under a real mixed workload.
 template <typename S> struct KvSnapCycleOp {
-  static uint64_t worker(kv::Store<S> &Db, LatReservoir &Lat, unsigned Tid,
-                         uint64_t Seed, uint64_t KeyRange,
+  static uint64_t worker(kv::Store<S> &Db, telemetry::Histogram &Lat,
+                         unsigned Tid, uint64_t Seed, uint64_t KeyRange,
                          std::atomic<bool> &Stop) {
     Xoshiro256 Rng(Seed);
     uint64_t Ops = 0;
@@ -864,7 +877,7 @@ template <typename S> struct KvSnapCycleOp {
             (void)Db.get(Tid, Rng.nextBounded(KeyRange), Snap);
           const auto T1 = std::chrono::steady_clock::now();
           Snap.reset();
-          Lat.record(OpenNs + nsSince(T1));
+          Lat.record(static_cast<uint64_t>(OpenNs + nsSince(T1)));
           Ops += 32;
         } else if (Rng.nextPercent(90)) {
           (void)Db.get(Tid, K);
@@ -891,29 +904,25 @@ template <typename S> struct KvSnapCycleOp {
             KvSuiteOp<S>::pointOptions(static_cast<unsigned>(T), O.KeyRange));
         for (uint64_t K = 0; K < O.Prefill; ++K)
           Db->put(0, K, K * 2);
-        std::vector<LatReservoir> Lat(static_cast<std::size_t>(T));
+        telemetry::Histogram Lat;
         double Mops = 0, Elapsed = 0;
         uint64_t Ops = 0;
         timedPhase(
             static_cast<unsigned>(T), O.Secs,
             [&](unsigned Tid, std::atomic<bool> &Stop) {
-              return worker(*Db, Lat[Tid],
+              return worker(*Db, Lat,
                             Tid, SplitMix64(O.Seed + R * 1024 + Tid).next(),
                             O.KeyRange, Stop);
             },
             Mops, Ops, Elapsed);
-        RunStats Merged;
-        for (const LatReservoir &L : Lat)
-          for (const double V : L.samples())
-            Merged.add(V);
-        const memory_stats MS = Db->stats();
+        const telemetry::store_stats MS = Db->stats();
         Pt.Mops.add(Mops);
         Pt.AvgUnreclaimed.add(static_cast<double>(MS.unreclaimed));
         Pt.PeakUnreclaimed.add(static_cast<double>(MS.unreclaimed));
-        Pt.LatP50Ns.add(Merged.percentile(50));
-        Pt.LatP99Ns.add(Merged.percentile(99));
+        addLatency(Pt, Lat.summarize());
         Pt.TotalOps += Ops;
         Pt.WallSec += Elapsed;
+        Pt.Stats = MS;
       }
       Rep.addPoint(Pt);
     }
@@ -946,6 +955,10 @@ void runKvSnapCycleSuite(const CommandLine &Cmd, report::Report &Rep) {
   Rep.note("kv-snap-cycle: latency is per open+close pair, sampled every "
            "64th cycle (every snapshot burst for read-mix); lat_p50_ns/"
            "lat_p99_ns aggregate each repeat's sampled percentile");
+  Rep.note("kv-snap-cycle: each point's stats object carries the final "
+           "repeat's acquire counters — slow_acquires/fast_rejects "
+           "against total cycles give the one-RMW fast-path hit rate "
+           "(open-close panels synthesize it from the bare registry)");
 }
 
 //===----------------------------------------------------------------------===//
@@ -965,7 +978,12 @@ struct ServeRepeat {
   double Elapsed = 0;
   double AvgUnreclaimed = 0;
   double PeakUnreclaimed = 0;
-  RunStats Lat; ///< merged strided per-op ns samples (may be empty)
+  /// Summary of the repeat's shared latency histogram (count == 0 when
+  /// nothing was recorded, e.g. under LFSMR_TELEMETRY=OFF).
+  telemetry::histogram_summary Lat;
+  /// End-of-repeat `store::stats()` snapshot, embedded in the point's
+  /// `stats` block (the last repeat wins).
+  telemetry::store_stats Stats;
 };
 
 /// Folds the sampled unreclaimed series of one repeat; finish() falls
@@ -990,12 +1008,6 @@ struct UnreclaimedSampler {
   }
 };
 
-void mergeReservoirs(const std::vector<LatReservoir> &Lat, ServeRepeat &Rr) {
-  for (const LatReservoir &L : Lat)
-    for (const double V : L.samples())
-      Rr.Lat.add(V);
-}
-
 /// Stride between latency-sampled serve ops (power of two), matching the
 /// txn/snap-cycle discipline.
 constexpr uint64_t ServeLatStride = 64;
@@ -1007,8 +1019,9 @@ constexpr uint64_t ServeLatStride = 64;
 template <typename S>
 uint64_t kvServeMixWorker(kv::Store<S> &Db,
                           const workload::ZipfianGenerator &Z,
-                          LatReservoir &Lat, bool WriteHeavy, unsigned Tid,
-                          uint64_t Seed, std::atomic<bool> &Stop) {
+                          telemetry::Histogram &Lat, bool WriteHeavy,
+                          unsigned Tid, uint64_t Seed,
+                          std::atomic<bool> &Stop) {
   Xoshiro256 Rng(Seed);
   uint64_t Ops = 0;
   while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
@@ -1034,7 +1047,7 @@ uint64_t kvServeMixWorker(kv::Store<S> &Db,
           Db.erase(Tid, K);
       }
       if (Timed)
-        Lat.record(nsSince(T0));
+        recordNsSince(Lat, T0);
     }
   }
   return Ops;
@@ -1047,8 +1060,8 @@ template <typename S>
 uint64_t kvServeStringWorker(kv::Store<S, std::string, std::string> &Db,
                              const workload::ZipfianGenerator &Z,
                              const workload::ValueSizeDist &Dist,
-                             LatReservoir &Lat, unsigned Tid, uint64_t Seed,
-                             std::atomic<bool> &Stop) {
+                             telemetry::Histogram &Lat, unsigned Tid,
+                             uint64_t Seed, std::atomic<bool> &Stop) {
   Xoshiro256 Rng(Seed);
   uint64_t Ops = 0;
   while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
@@ -1063,7 +1076,7 @@ uint64_t kvServeStringWorker(kv::Store<S, std::string, std::string> &Db,
       else
         Db.put(Tid, Key, std::string(Dist.sample(Rng), 'v'));
       if (Timed)
-        Lat.record(nsSince(T0));
+        recordNsSince(Lat, T0);
     }
   }
   return Ops;
@@ -1078,8 +1091,8 @@ uint64_t kvServeStringWorker(kv::Store<S, std::string, std::string> &Db,
 template <typename S>
 uint64_t kvServeChurnSession(kv::Store<S> &Db,
                              const workload::ZipfianGenerator &Z,
-                             LatReservoir &Lat, unsigned Tid, uint64_t Seed,
-                             const std::atomic<bool> &Stop) {
+                             telemetry::Histogram &Lat, unsigned Tid,
+                             uint64_t Seed, const std::atomic<bool> &Stop) {
   constexpr uint64_t SessionQuota = 4096;
   Xoshiro256 Rng(Seed);
   uint64_t Ops = 0;
@@ -1091,7 +1104,7 @@ uint64_t kvServeChurnSession(kv::Store<S> &Db,
         for (unsigned J = 0; J < 16; ++J)
           (void)Db.get(Tid, Z.next(Rng), Snap);
         Snap.reset();
-        Lat.record(nsSince(T0));
+        recordNsSince(Lat, T0);
         Ops += 16;
       } else if (Rng.nextPercent(70)) {
         (void)Db.get(Tid, Z.next(Rng));
@@ -1132,12 +1145,10 @@ template <typename S> struct KvServeOp {
         Pt.Mops.add(Rr.Mops);
         Pt.AvgUnreclaimed.add(Rr.AvgUnreclaimed);
         Pt.PeakUnreclaimed.add(Rr.PeakUnreclaimed);
-        if (Rr.Lat.count()) {
-          Pt.LatP50Ns.add(Rr.Lat.percentile(50));
-          Pt.LatP99Ns.add(Rr.Lat.percentile(99));
-        }
+        addLatency(Pt, Rr.Lat);
         Pt.TotalOps += Rr.Ops;
         Pt.WallSec += Rr.Elapsed;
+        Pt.Stats = Rr.Stats;
       }
       Rep.addPoint(Pt);
     }
@@ -1148,14 +1159,19 @@ template <typename S> struct KvServeOp {
     return SplitMix64(KO.Sweep.Seed + Repeat * 1024 + Stream).next();
   }
 
-  /// A timed mix repeat over a freshly prefilled u64 store with \p Extra
-  /// reserved scheme thread ids beyond the workers (the stall panel's
-  /// holder occupies one).
+  /// A timed mix repeat over a freshly prefilled u64 store. \p StallCfg
+  /// sizes the store for the stall panel (one reserved scheme thread id
+  /// for the holder, tightened detection thresholds); \p Stall actually
+  /// parks the holder on it. The stall-serve baseline twin runs
+  /// StallCfg without Stall, so its store is byte-identical to the
+  /// stalled side and the latency A/B isolates the stall itself.
   static ServeRepeat u64MixRepeat(const KvServeOptions &KO, unsigned T,
-                                  unsigned R, bool WriteHeavy, bool Stall) {
+                                  unsigned R, bool WriteHeavy, bool Stall,
+                                  bool StallCfg) {
     const SweepOptions &O = KO.Sweep;
-    auto StoreOpts = KvSuiteOp<S>::pointOptions(Stall ? T + 1 : T, O.KeyRange);
-    if (Stall) {
+    auto StoreOpts =
+        KvSuiteOp<S>::pointOptions(StallCfg ? T + 1 : T, O.KeyRange);
+    if (StallCfg) {
       // A robust scheme's stall bound is proportional to its detection
       // thresholds (Hyaline-S frees nothing for a stalled slot until it
       // falls AckThreshold acks behind, so its plateau sits near 64x
@@ -1170,7 +1186,7 @@ template <typename S> struct KvServeOp {
     for (uint64_t K = 0; K < O.Prefill; ++K)
       Db->put(0, K, K * 2);
     const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
-    std::vector<LatReservoir> Lat(T);
+    telemetry::Histogram Lat;
     std::unique_ptr<workload::StalledSnapshotHolder<U64Store>> Holder;
     if (Stall) {
       // The holder squats on the reserved id T. It briefly pins the trim
@@ -1189,15 +1205,16 @@ template <typename S> struct KvServeOp {
     timedPhaseSampled(
         T, O.Secs,
         [&](unsigned Tid, std::atomic<bool> &Stop) {
-          return kvServeMixWorker(*Db, Z, Lat[Tid], WriteHeavy, Tid,
+          return kvServeMixWorker(*Db, Z, Lat, WriteHeavy, Tid,
                                   workerSeed(KO, R, Tid), Stop);
         },
         [&] { U.take(Db->stats().unreclaimed); }, Rr.Mops, Rr.Ops,
         Rr.Elapsed);
     if (Holder)
       Holder->release();
-    U.finish(Rr, Db->stats().unreclaimed);
-    mergeReservoirs(Lat, Rr);
+    Rr.Stats = Db->stats();
+    U.finish(Rr, Rr.Stats.unreclaimed);
+    Rr.Lat = Lat.summarize();
     return Rr;
   }
 
@@ -1209,7 +1226,7 @@ template <typename S> struct KvServeOp {
     servePanel("zipf-hot", "read", Scheme, KO, Rep, 1,
                [&](unsigned T, unsigned R) {
                  return u64MixRepeat(KO, T, R, /*WriteHeavy=*/false,
-                                     /*Stall=*/false);
+                                     /*Stall=*/false, /*StallCfg=*/false);
                });
 
     // oversub: the same serve mix at 4x the swept thread count —
@@ -1218,14 +1235,25 @@ template <typename S> struct KvServeOp {
     servePanel("oversub", "read", Scheme, KO, Rep, 4,
                [&](unsigned T, unsigned R) {
                  return u64MixRepeat(KO, T, R, /*WriteHeavy=*/false,
-                                     /*Stall=*/false);
+                                     /*Stall=*/false, /*StallCfg=*/false);
                });
 
-    // stall-serve: write-heavy serving under a stalled snapshot holder.
-    servePanel("stall-serve", "write", Scheme, KO, Rep, 1,
+    // stall-serve: write-heavy serving under a stalled snapshot holder,
+    // paired with a baseline twin (mix "write-baseline") over the
+    // byte-identical store/config minus the stall. The two mixes'
+    // lat_p50_ns/lat_p99_ns come off the same telemetry histograms, so
+    // the stalled-vs-unstalled latency A/B reads directly out of one
+    // report — the per-scheme tail-latency cost of a stalled reader,
+    // next to the memory-bound robustness story.
+    servePanel("stall-serve", "write-stalled", Scheme, KO, Rep, 1,
                [&](unsigned T, unsigned R) {
                  return u64MixRepeat(KO, T, R, /*WriteHeavy=*/true,
-                                     /*Stall=*/true);
+                                     /*Stall=*/true, /*StallCfg=*/true);
+               });
+    servePanel("stall-serve", "write-baseline", Scheme, KO, Rep, 1,
+               [&](unsigned T, unsigned R) {
+                 return u64MixRepeat(KO, T, R, /*WriteHeavy=*/true,
+                                     /*Stall=*/false, /*StallCfg=*/true);
                });
 
     // churn: worker slots join and leave mid-run (fresh OS thread per
@@ -1238,7 +1266,7 @@ template <typename S> struct KvServeOp {
           for (uint64_t K = 0; K < O.Prefill; ++K)
             Db->put(0, K, K * 2);
           const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
-          std::vector<LatReservoir> Lat(T);
+          telemetry::Histogram Lat;
           ServeRepeat Rr;
           UnreclaimedSampler U;
           std::atomic<bool> Stop{false};
@@ -1248,7 +1276,7 @@ template <typename S> struct KvServeOp {
             Total = workload::runSessioned(
                 T, Stop, [&](unsigned W, unsigned Session) {
                   return kvServeChurnSession(
-                      *Db, Z, Lat[W], W,
+                      *Db, Z, Lat, W,
                       workerSeed(KO, R, W * 8191 + Session), Stop);
                 });
           });
@@ -1268,8 +1296,9 @@ template <typename S> struct KvServeOp {
               Rr.Elapsed > 0
                   ? static_cast<double>(Total) / Rr.Elapsed / 1e6
                   : 0;
-          U.finish(Rr, Db->stats().unreclaimed);
-          mergeReservoirs(Lat, Rr);
+          Rr.Stats = Db->stats();
+          U.finish(Rr, Rr.Stats.unreclaimed);
+          Rr.Lat = Lat.summarize();
           return Rr;
         });
 
@@ -1288,19 +1317,20 @@ template <typename S> struct KvServeOp {
                       std::string(Dist.sample(PrefillRng), 'v'));
           }
           const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
-          std::vector<LatReservoir> Lat(T);
+          telemetry::Histogram Lat;
           ServeRepeat Rr;
           UnreclaimedSampler U;
           timedPhaseSampled(
               T, O.Secs,
               [&](unsigned Tid, std::atomic<bool> &Stop) {
-                return kvServeStringWorker(*Db, Z, Dist, Lat[Tid], Tid,
+                return kvServeStringWorker(*Db, Z, Dist, Lat, Tid,
                                            workerSeed(KO, R, Tid), Stop);
               },
               [&] { U.take(Db->stats().unreclaimed); }, Rr.Mops, Rr.Ops,
               Rr.Elapsed);
-          U.finish(Rr, Db->stats().unreclaimed);
-          mergeReservoirs(Lat, Rr);
+          Rr.Stats = Db->stats();
+          U.finish(Rr, Rr.Stats.unreclaimed);
+          Rr.Lat = Lat.summarize();
           return Rr;
         });
   }
@@ -1345,6 +1375,11 @@ void runKvServeSuite(const CommandLine &Cmd, report::Report &Rep) {
            "tag lets the zipf cold tail drag whole batches into the "
            "stalled slot, so its Thm-5 bound reads as growth here — see "
            "ARCHITECTURE.md");
+  Rep.note("kv-serve: stall-serve is a latency A/B — mix write-stalled "
+           "runs under the holder, mix write-baseline runs the "
+           "byte-identical store/config without it, so comparing the two "
+           "mixes' lat_p50_ns/lat_p99_ns isolates the stall's tail-"
+           "latency cost per scheme");
 }
 
 //===----------------------------------------------------------------------===//

@@ -15,6 +15,7 @@
 
 #include <lfsmr/kv.h> // also reachable via <lfsmr/lfsmr.h>; explicit here
 #include <lfsmr/lfsmr.h>
+#include <lfsmr/telemetry.h> // explicit: the install check round-trips it
 
 #include <atomic>
 #include <cstdio>
@@ -284,6 +285,44 @@ template <typename Scheme> void kvTxnRoundTrip(const char *Name) {
         Name);
 }
 
+/// The telemetry surface from the installed package: typed stats
+/// snapshots off a live store plus the JSON / Prometheus exposition —
+/// `<lfsmr/telemetry.h>` must round-trip through the install prefix
+/// whatever LFSMR_TELEMETRY configuration the library was built with
+/// (the compile definition travels on the exported target).
+void telemetryRoundTrip() {
+  lfsmr::kv::options Opt;
+  Opt.Reclaim.MaxThreads = 2;
+  lfsmr::kv::store<lfsmr::schemes::hyaline_s> Db(Opt);
+  for (uint64_t K = 0; K < 512; ++K)
+    Db.put(0, K, K);
+  for (uint64_t K = 0; K < 512; K += 2)
+    Db.put(1, K, K * 2); // overwrites retire the old versions
+  {
+    lfsmr::kv::snapshot S = Db.open_snapshot();
+    check(Db.get(0, 3, S).value_or(0) == 3, "telemetry: snapshot read");
+  }
+
+  const lfsmr::telemetry::store_stats St = Db.stats();
+  check(St.retired <= St.allocated, "telemetry: retired <= allocated");
+  check(St.unreclaimed == St.retired - St.freed,
+        "telemetry: unreclaimed == retired - freed");
+  check(St.live_snapshots == 0, "telemetry: snapshots all released");
+
+  const std::string J = lfsmr::telemetry::to_json(St);
+  check(J.find("\"unreclaimed\"") != std::string::npos,
+        "telemetry: JSON exposition carries the accounting");
+  const std::string P = lfsmr::telemetry::to_prometheus(St, "consumer");
+  check(P.find("consumer_retired_total") != std::string::npos,
+        "telemetry: Prometheus exposition carries the accounting");
+  check(lfsmr::telemetry::drain_trace_json().front() == '[',
+        "telemetry: trace drain is a JSON array in every build config");
+
+  const lfsmr::telemetry::domain_stats DS = Db.domain().stats();
+  check(DS.allocated == St.allocated,
+        "telemetry: domain subset matches the store snapshot");
+}
+
 /// A public container over an installed scheme alias.
 void containerRoundTrip() {
   lfsmr::config Cfg;
@@ -311,6 +350,7 @@ int main() {
   intrusiveDomainRoundTrip();
   anyDomainRoundTrip();
   containerRoundTrip();
+  telemetryRoundTrip();
   kvRoundTrip<lfsmr::schemes::hyaline_s>("kv store accounting (hyaline-s)");
   kvRoundTrip<lfsmr::schemes::hazard_pointers>(
       "kv store accounting (hp, intrusive mode)");

@@ -41,6 +41,7 @@
 #include "lfsmr/detail/transparent.h"
 #include "lfsmr/protected_ptr.h"
 #include "lfsmr/schemes.h"
+#include "lfsmr/telemetry.h"
 #include "smr/scheme_list.h"
 
 #include <atomic>
@@ -73,7 +74,7 @@ class any_domain {
     virtual void retire_obj(void *gs, void *obj) = 0;
     virtual void discard_obj(void *gs, void *obj) = 0;
     virtual unsigned hazard_slots() const = 0;
-    virtual memory_stats stats() const = 0;
+    virtual telemetry::domain_stats stats() const = 0;
   };
 
   template <typename Scheme> struct model final : erased {
@@ -114,8 +115,11 @@ class any_domain {
       s.discard(header_of(obj));
     }
     unsigned hazard_slots() const override { return rotate; }
-    memory_stats stats() const override {
-      return snapshot_stats(s.memCounter());
+    telemetry::domain_stats stats() const override {
+      telemetry::domain_stats st{};
+      static_cast<memory_stats &>(st) = snapshot_stats(s.memCounter());
+      st.era = smr::schemeEra(s);
+      return st;
     }
 
     static typename Scheme::NodeHeader *header_of(void *obj) {
@@ -297,8 +301,10 @@ public:
   /// Begins an operation as thread \p tid.
   guard enter(thread_id tid) { return guard(*this, tid); }
 
-  /// Allocation/retire/free accounting snapshot.
-  memory_stats stats() const { return impl->stats(); }
+  /// Allocation/retire/free accounting snapshot plus the scheme's era
+  /// clock. Converts implicitly to `memory_stats` for callers of the
+  /// pre-telemetry surface.
+  telemetry::domain_stats stats() const { return impl->stats(); }
 
 private:
   /// True when \p scheme appears in the full scheme list, including the

@@ -44,13 +44,13 @@ using deleter = smr::Deleter;
 /// Exact at quiescence, approximate while threads are running.
 struct memory_stats {
   /// Nodes allocated through the domain (counted at `init`/`create`).
-  std::int64_t allocated;
+  std::int64_t allocated = 0;
   /// Nodes retired so far.
-  std::int64_t retired;
+  std::int64_t retired = 0;
   /// Nodes whose storage has been handed back to the deleter.
-  std::int64_t freed;
+  std::int64_t freed = 0;
   /// Retired but not yet reclaimed (the paper's Figure 12 metric).
-  std::int64_t unreclaimed;
+  std::int64_t unreclaimed = 0;
 };
 
 /// Builds a `memory_stats` snapshot from a scheme's internal counter.

@@ -33,6 +33,7 @@
 #include "lfsmr/config.h"
 #include "lfsmr/detail/transparent.h"
 #include "lfsmr/guard.h"
+#include "lfsmr/telemetry.h"
 
 namespace lfsmr {
 
@@ -93,8 +94,15 @@ public:
   /// True when the domain was built in transparent mode.
   bool transparent() const { return transparent_; }
 
-  /// Allocation/retire/free accounting snapshot.
-  memory_stats stats() const { return snapshot_stats(s.memCounter()); }
+  /// Allocation/retire/free accounting snapshot plus the scheme's era
+  /// clock. Converts implicitly to `memory_stats` for callers of the
+  /// pre-telemetry surface.
+  telemetry::domain_stats stats() const {
+    telemetry::domain_stats st{};
+    static_cast<memory_stats &>(st) = snapshot_stats(s.memCounter());
+    st.era = smr::schemeEra(s);
+    return st;
+  }
 
 private:
   Scheme s;

@@ -17,6 +17,9 @@
 ///  - `lfsmr/containers.h` — the lock-free container lineup;
 ///  - `lfsmr/kv.h` — the sharded, versioned key-value store with
 ///    snapshot reads;
+///  - `lfsmr/telemetry.h` — runtime reclamation metrics: typed stats
+///    snapshots (`telemetry::domain_stats`, `telemetry::store_stats`),
+///    JSON / Prometheus exposition, and the optional binary trace ring;
 ///  - `lfsmr/version.h` — version macros (generated).
 ///
 /// Consumers installed via `find_package(lfsmr)` include only
@@ -51,6 +54,9 @@ namespace ds {}
 /// The sharded, versioned key-value store with snapshot reads
 /// (`kv::store`, `kv::snapshot`, `kv::options`).
 namespace kv {}
+/// Runtime reclamation metrics: typed stats snapshots, JSON and
+/// Prometheus exposition, and the optional binary trace ring.
+namespace telemetry {}
 } // namespace lfsmr
 
 #include "lfsmr/any_domain.h"
@@ -61,6 +67,7 @@ namespace kv {}
 #include "lfsmr/kv.h"
 #include "lfsmr/protected_ptr.h"
 #include "lfsmr/schemes.h"
+#include "lfsmr/telemetry.h"
 #include "lfsmr/version.h"
 
 #endif // LFSMR_LFSMR_H

@@ -6,6 +6,7 @@
 
 #include "core/hyaline1s.h"
 
+#include "support/trace.h"
 #include <cassert>
 
 using namespace lfsmr;
@@ -73,8 +74,11 @@ uintptr_t Hyaline1S::derefLink(Guard &G, const std::atomic<uintptr_t> &Src,
 
 void Hyaline1S::initNode(Guard &G, NodeHeader *Node) {
   PerThread &T = *Threads[G.Tid];
-  if (++T.AllocCounter % EraFreq == 0)
-    AllocEra.fetch_add(1, std::memory_order_acq_rel);
+  if (++T.AllocCounter % EraFreq == 0) {
+    [[maybe_unused]] const auto NewEra =
+        AllocEra.fetch_add(1, std::memory_order_acq_rel) + 1;
+    LFSMR_TRACE_EVENT(telemetry::TraceEvent::EraAdvance, NewEra);
+  }
   Node->setBirthEra(AllocEra.load(std::memory_order_acquire));
   Counter.onAlloc();
 }

@@ -6,6 +6,7 @@
 
 #include "core/hyaline_s.h"
 
+#include "support/trace.h"
 #include <cassert>
 #include <thread>
 
@@ -141,8 +142,11 @@ uint64_t HyalineS::touch(SlotState &S, uint64_t Era) {
 
 void HyalineS::initNode(Guard &G, NodeHeader *Node) {
   PerThread &T = *Threads[G.Tid];
-  if (++T.AllocCounter % EraFreq == 0)
-    AllocEra.fetch_add(1, std::memory_order_acq_rel);
+  if (++T.AllocCounter % EraFreq == 0) {
+    [[maybe_unused]] const auto NewEra =
+        AllocEra.fetch_add(1, std::memory_order_acq_rel) + 1;
+    LFSMR_TRACE_EVENT(telemetry::TraceEvent::EraAdvance, NewEra);
+  }
   Node->setBirthEra(AllocEra.load(std::memory_order_acquire));
   Counter.onAlloc();
 }

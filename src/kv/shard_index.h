@@ -54,6 +54,7 @@
 
 #include "core/slot_directory.h"
 #include "support/align.h"
+#include "support/telemetry.h"
 
 #include <atomic>
 #include <cassert>
@@ -208,6 +209,12 @@ public:
     return Shards_[S].Items.Value.load(std::memory_order_relaxed);
   }
 
+  /// Load-factor growth triggers fired so far, across all shards
+  /// (telemetry; 0 when `LFSMR_TELEMETRY=OFF`). Counts trigger *events*,
+  /// not capacity doublings — racing growers may fire several triggers
+  /// for one doubling, which is itself a signal (resize contention).
+  std::uint64_t resizeCount() const { return Resizes.total(); }
+
   /// Michael's find over shard \p S for \p P, starting from the deepest
   /// materialized bucket for \p Hash. Writers (\p InitBuckets) insert
   /// missing dummies on the way; readers fall back to an ancestor
@@ -264,8 +271,10 @@ private:
     if (!LoadFactor)
       return;
     const std::size_t K = Sh.Buckets.capacity();
-    if (static_cast<std::size_t>(Items) > LoadFactor * K)
+    if (static_cast<std::size_t>(Items) > LoadFactor * K) {
       Sh.Buckets.grow(K);
+      Resizes.add();
+    }
   }
 
   /// Reader path: the deepest *already materialized* bucket for \p B —
@@ -376,6 +385,7 @@ private:
   Policy &Pol;
   const std::size_t NumShards;
   const std::size_t LoadFactor;
+  telemetry::Counter Resizes;
 
   struct ShardArrayDeleter {
     void operator()(Shard *P) const {

@@ -6,6 +6,8 @@
 
 #include "kv/snapshot_registry.h"
 
+#include "support/trace.h"
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -77,14 +79,15 @@ SnapshotRegistry::Ticket SnapshotRegistry::acquire() {
           packedCount(Prior) < MaxCount && clock() == S)
         return Ticket{S, H.Slot};
       Slot.fetch_sub(One, std::memory_order_seq_cst);
-      FastRejects.Value.fetch_add(1, std::memory_order_relaxed);
+      FastRejects.add();
     }
   }
   return slowAcquire(S);
 }
 
 SnapshotRegistry::Ticket SnapshotRegistry::slowAcquire(std::uint64_t S) {
-  SlowAcquires.Value.fetch_add(1, std::memory_order_relaxed);
+  SlowAcquires.add();
+  LFSMR_TRACE_EVENT(telemetry::TraceEvent::SlowAcquire, S);
   ThreadHint &H = threadHint();
   for (;;) {
     checkStamp(S);

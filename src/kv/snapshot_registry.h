@@ -75,6 +75,7 @@
 
 #include "core/slot_directory.h"
 #include "support/align.h"
+#include "support/telemetry.h"
 
 #include <atomic>
 #include <cstddef>
@@ -244,7 +245,9 @@ public:
   /// Counters over `acquire`'s control flow. Fast-path successes are
   /// deliberately *not* counted — a success counter would be a second
   /// shared RMW on the one-RMW path — so tests observe the fast path by
-  /// asserting these stay flat across a batch of acquires.
+  /// asserting these stay flat across a batch of acquires. Both counters
+  /// are `telemetry::Counter`s: builds with `LFSMR_TELEMETRY=OFF` compile
+  /// the bumps away and this snapshot reads zero.
   struct AcquireStats {
     /// Acquires that fell through to the slow-path scan (including the
     /// very first acquire of each thread, which has no hint yet).
@@ -256,8 +259,7 @@ public:
 
   /// Snapshot of the acquire counters (approximate under concurrency).
   AcquireStats acquireStats() const {
-    return {SlowAcquires.Value.load(std::memory_order_seq_cst),
-            FastRejects.Value.load(std::memory_order_seq_cst)};
+    return {SlowAcquires.total(), FastRejects.total()};
   }
 
   /// Test hook: forces the clock to \p V. Callers must be quiescent (no
@@ -299,13 +301,14 @@ private:
   /// RMW isolation on the open/close fast path.
   using SlotWord = CachePadded<std::atomic<std::uint64_t>>;
 
-  /// The clock is RMW'd by every write; the acquire counters by every
-  /// slow acquire. Each gets its own line so none of them thrashes the
-  /// others or the directory header (KMin/K/array pointers), which every
-  /// acquire and trim scan reads.
+  /// The clock is RMW'd by every write; it gets its own line so it never
+  /// thrashes the directory header (KMin/K/array pointers), which every
+  /// acquire and trim scan reads. The acquire counters are telemetry
+  /// counters (striped per-thread cells, padded internally), so a slow
+  /// acquire's bump never contends with the clock or another thread.
   CachePadded<std::atomic<std::uint64_t>> Clock{std::uint64_t{1}};
-  CachePadded<std::atomic<std::uint64_t>> SlowAcquires{std::uint64_t{0}};
-  CachePadded<std::atomic<std::uint64_t>> FastRejects{std::uint64_t{0}};
+  telemetry::Counter SlowAcquires;
+  telemetry::Counter FastRejects;
   core::SlotDirectory<SlotWord> Slots;
 };
 

@@ -100,7 +100,10 @@
 #include "kv/shard_index.h"
 #include "kv/snapshot_registry.h"
 #include "lfsmr/domain.h"
+#include "lfsmr/telemetry.h"
 #include "support/align.h"
+#include "support/telemetry.h"
+#include "support/trace.h"
 
 #include <atomic>
 #include <cassert>
@@ -422,7 +425,20 @@ public:
   /// each (`SnapshotRegistry::acquire`'s fast path). The handle must
   /// not outlive the store: destroy or `reset()` it first (its release
   /// writes into the store-owned registry).
-  SnapshotHandle open_snapshot() { return SnapshotHandle(Registry); }
+  SnapshotHandle open_snapshot() {
+    // Telemetry: one open in `TelemetryStride` is timed (two clock reads
+    // ~40ns would otherwise dwarf the one-RMW fast path). Builds with
+    // telemetry off compile the sampler to a constant-false tick, so the
+    // branch and both clock reads fold away.
+    thread_local telemetry::Sampler Smp;
+    if (Smp.tick(TelemetryStride)) {
+      const std::uint64_t T0 = telemetry::nowNs();
+      SnapshotHandle H(Registry);
+      SnapOpenNs.record(telemetry::nowNs() - T0);
+      return H;
+    }
+    return SnapshotHandle(Registry);
+  }
 
   /// Scans every binding visible at \p Snap, invoking
   /// `Fn(key_view, value_view)` with *borrowed* views valid only inside
@@ -490,8 +506,32 @@ public:
   /// Number of currently open snapshot handles (exact at quiescence).
   std::size_t live_snapshots() const { return Registry.liveSnapshots(); }
 
-  /// Allocation/retire/free accounting of the store's domain.
-  memory_stats stats() const { return Dom->stats(); }
+  /// Full store telemetry snapshot: the domain's allocation accounting
+  /// and era (`telemetry::domain_stats` base), the snapshot machinery's
+  /// counters (version clock, live snapshots, slot capacity, slow
+  /// acquires, fast rejects), index resize triggers, transaction
+  /// outcomes, and the three latency/size histogram summaries. Converts
+  /// implicitly to `memory_stats` for callers of the pre-telemetry
+  /// surface; approximate while threads are running, exact at
+  /// quiescence. Builds with `LFSMR_TELEMETRY=OFF` report zeros for
+  /// every telemetry-only field.
+  telemetry::store_stats stats() const {
+    telemetry::store_stats St{};
+    static_cast<telemetry::domain_stats &>(St) = Dom->stats();
+    St.version_clock = Registry.clock();
+    St.live_snapshots = Registry.liveSnapshots();
+    St.snapshot_slots = Registry.slotCapacity();
+    const SnapshotRegistry::AcquireStats A = Registry.acquireStats();
+    St.slow_acquires = A.SlowAcquires;
+    St.fast_rejects = A.FastRejects;
+    St.index_resizes = Index->resizeCount();
+    St.txn_commits = TxnCommits.total();
+    St.txn_aborts = TxnAborts.total();
+    St.snapshot_open_ns = SnapOpenNs.summarize();
+    St.trim_walk_len = TrimWalkLen.summarize();
+    St.txn_commit_ns = TxnCommitNs.summarize();
+    return St;
+  }
 
   /// The normalized construction options actually applied: `Shards`,
   /// `BucketsPerShard`, and `MinSnapshotSlots` rounded up to powers of
@@ -574,6 +614,11 @@ private:
   /// Slot pinning a transaction's commit record while `stampOf` resolves
   /// a version's shared stamp through it.
   static constexpr unsigned VSlotC = 6;
+
+  /// Telemetry latency sampling stride (power of two): one operation in
+  /// this many carries the two `steady_clock` reads that feed the
+  /// latency histograms. Counters are never sampled — only timing is.
+  static constexpr unsigned TelemetryStride = 64;
 
   /// One version: stamp (Pending until resolved), the link to the next
   /// older version, the commit-record word, and the codec-shaped payload
@@ -1259,6 +1304,31 @@ private:
   commitWriteSet(thread_id Tid, std::uint64_t ReadStamp,
                  const std::vector<Entry> &Set) {
     auto G = Dom->enter(Tid);
+    // Telemetry: commit/abort counters on every outcome, plus sampled
+    // end-to-end commit latency (one commit in `TelemetryStride`). The
+    // recorder fires on every return path below; aborts also emit a
+    // trace event carrying the transaction's read stamp.
+    struct TxnRecorder {
+      Store &St;
+      std::uint64_t ReadStamp;
+      std::uint64_t T0 = 0;
+      bool Committed = false;
+      TxnRecorder(Store &St, std::uint64_t RS) : St(St), ReadStamp(RS) {
+        thread_local telemetry::Sampler Smp;
+        if (Smp.tick(TelemetryStride))
+          T0 = telemetry::nowNs();
+      }
+      ~TxnRecorder() {
+        if (Committed) {
+          St.TxnCommits.add();
+          if (T0)
+            St.TxnCommitNs.record(telemetry::nowNs() - T0);
+        } else {
+          St.TxnAborts.add();
+          LFSMR_TRACE_EVENT(telemetry::TraceEvent::CommitAbort, ReadStamp);
+        }
+      }
+    } TR{*this, ReadStamp};
     if (Set.size() == 1) {
       // Solo fast path: a one-entry batch is atomic by construction —
       // a conflict-checked write, no commit record, per-key resolve.
@@ -1267,6 +1337,7 @@ private:
           publishChecked(G, E.Key, E.Val, E.Hash, /*C=*/nullptr, ReadStamp);
       if (R.Conflict)
         return std::nullopt;
+      TR.Committed = true;
       if (!R.Published)
         return ReadStamp; // no-op erase: trivially committed
       const std::uint64_t T = Registry.resolve(vr(R.Published).Stamp);
@@ -1331,6 +1402,7 @@ private:
         abortPublished(G, Set[I].Key, Set[I].Hash, C);
     }
     retireCommit(G, C);
+    TR.Committed = Committed;
     if (!Committed)
       return std::nullopt;
     for (std::size_t I = 0; I < Set.size(); ++I) {
@@ -1364,6 +1436,17 @@ private:
     VNode *Cur = toV(Hd);
     if (!Cur)
       return;
+    // Telemetry: chain nodes this trim touched (descent steps + retired
+    // suffix nodes), recorded once on every exit path. With telemetry
+    // off `record` is a no-op and the local counter folds away.
+    struct WalkRecorder {
+      telemetry::Histogram &Hist;
+      std::uint64_t N = 0;
+      ~WalkRecorder() {
+        if (N)
+          Hist.record(N);
+      }
+    } Walk{TrimWalkLen};
     unsigned A = VSlotA, B = VSlotB;
     std::uint64_t CurStamp = stampOf(G, Cur);
     if (CurStamp == SnapshotRegistry::Aborted) {
@@ -1392,6 +1475,7 @@ private:
         if (!N)
           return; // no version at or below the floor: nothing to trim
         Cur = N;
+        ++Walk.N;
         std::swap(A, B);
         CurStamp = stampOf(G, Cur);
         if (CurStamp == SnapshotRegistry::Aborted)
@@ -1417,6 +1501,7 @@ private:
     while (VNode *X = toV(Taken)) {
       Taken = vr(X).Older.exchange(0, std::memory_order_seq_cst);
       retireVersion(G, X);
+      ++Walk.N;
     }
     // Key removal: only when the chain head itself is the boundary, it
     // is a tombstone with a settled stamp no live (or future) snapshot
@@ -1525,6 +1610,15 @@ private:
   std::optional<lfsmr::domain<Scheme>> Dom;
   std::unique_ptr<Index_t> Index;
   std::atomic<std::int64_t> Dummies{0};
+
+  /// Telemetry (empty with `LFSMR_TELEMETRY=OFF`): sampled open-snapshot
+  /// latency, trim walk lengths, sampled txn commit latency, and exact
+  /// txn outcome counters.
+  telemetry::Histogram SnapOpenNs;
+  telemetry::Histogram TrimWalkLen;
+  telemetry::Histogram TxnCommitNs;
+  telemetry::Counter TxnCommits;
+  telemetry::Counter TxnAborts;
 };
 
 } // namespace lfsmr::kv

@@ -6,6 +6,7 @@
 
 #include "smr/ebr.h"
 
+#include "support/trace.h"
 #include <cassert>
 
 using namespace lfsmr;
@@ -76,8 +77,11 @@ void EBR::retire(Guard &G, NodeHeader *Node) {
 
   ++T.RetireCount;
   // Unconditional (amortized) epoch advance; see ebr.h file comment.
-  if (T.RetireCount % Cfg.EpochFreq == 0)
-    GlobalEpoch.fetch_add(1, std::memory_order_acq_rel);
+  if (T.RetireCount % Cfg.EpochFreq == 0) {
+    [[maybe_unused]] const auto NewEra =
+        GlobalEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+    LFSMR_TRACE_EVENT(telemetry::TraceEvent::EraAdvance, NewEra);
+  }
   if (T.Retired.size() >= Cfg.EmptyFreq)
     sweep(G.Tid);
 }

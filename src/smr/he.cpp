@@ -6,6 +6,7 @@
 
 #include "smr/he.h"
 
+#include "support/trace.h"
 #include <algorithm>
 #include <cassert>
 
@@ -70,8 +71,11 @@ uintptr_t HE::protect(Guard &G, const std::atomic<uintptr_t> &Src,
 
 void HE::initNode(Guard &G, NodeHeader *Node) {
   PerThread &T = *Threads[G.Tid];
-  if (++T.AllocCount % Cfg.EpochFreq == 0)
-    GlobalEra.fetch_add(1, std::memory_order_acq_rel);
+  if (++T.AllocCount % Cfg.EpochFreq == 0) {
+    [[maybe_unused]] const auto NewEra =
+        GlobalEra.fetch_add(1, std::memory_order_acq_rel) + 1;
+    LFSMR_TRACE_EVENT(telemetry::TraceEvent::EraAdvance, NewEra);
+  }
   Node->BirthEra = GlobalEra.load(std::memory_order_acquire);
   Node->RetireEra = NoEra;
   Counter.onAlloc();

@@ -83,6 +83,25 @@ struct Config {
   int64_t AckThreshold = 8192;
 };
 
+/// The optional *stats surface* of the scheme contract: a scheme MAY
+/// expose a global era/epoch observer named `currentEra()` (IBR, HE,
+/// Hyaline-S, Hyaline-1S) or `currentEpoch()` (EBR); `schemeEra` reads
+/// whichever one exists uniformly and returns 0 for schemes with no such
+/// clock (Hyaline, Hyaline-1, HP, nomm) — every real clock seeds at 1,
+/// so 0 is unambiguous. Together with the per-domain `MemCounter`
+/// (retired / reclaimed / retired-list length), this is everything a
+/// scheme reports into `lfsmr::telemetry::domain_stats`; a new scheme
+/// that wants its era visible only needs to name its observer
+/// accordingly.
+template <typename Scheme> std::uint64_t schemeEra(const Scheme &S) {
+  if constexpr (requires { S.currentEra(); })
+    return S.currentEra();
+  else if constexpr (requires { S.currentEpoch(); })
+    return S.currentEpoch();
+  else
+    return 0;
+}
+
 /// Convenience RAII wrapper pairing enter/leave around a scope.
 ///
 /// The paper notes (Table 1 discussion) that the deref-based API "can be

@@ -20,6 +20,7 @@
 #define LFSMR_SUPPORT_MEM_COUNTER_H
 
 #include "support/align.h"
+#include "support/trace.h"
 
 #include <atomic>
 #include <cstddef>
@@ -63,9 +64,19 @@ private:
 class MemCounter {
 public:
   void onAlloc() { Allocs.add(1); }
-  void onRetire() { Retires.add(1); }
-  void onFree() { Frees.add(1); }
-  void onFree(int64_t N) { Frees.add(N); }
+  void onRetire() {
+    Retires.add(1);
+    LFSMR_TRACE_EVENT(telemetry::TraceEvent::Retire, 1);
+  }
+  void onFree() {
+    Frees.add(1);
+    LFSMR_TRACE_EVENT(telemetry::TraceEvent::Reclaim, 1);
+  }
+  void onFree(int64_t N) {
+    Frees.add(N);
+    LFSMR_TRACE_EVENT(telemetry::TraceEvent::Reclaim,
+                      static_cast<unsigned long long>(N));
+  }
 
   int64_t allocated() const { return Allocs.total(); }
   int64_t retired() const { return Retires.total(); }

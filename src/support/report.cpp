@@ -8,6 +8,7 @@
 
 #include "support/build_info.h"
 #include "support/json.h"
+#include "support/telemetry.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -282,6 +283,10 @@ std::string Report::renderJson(double WallSec) const {
       writeStats(W, "abort_pct", P.AbortPct);
     if (P.ZipfTheta >= 0)
       W.key("zipf_theta").value(P.ZipfTheta);
+    if (P.Stats) {
+      W.key("stats");
+      telemetry::writeJson(W, *P.Stats);
+    }
     W.key("total_ops").value(P.TotalOps);
     W.key("wall_sec").value(P.WallSec);
     W.endObject();

@@ -30,11 +30,13 @@
 #ifndef LFSMR_SUPPORT_REPORT_H
 #define LFSMR_SUPPORT_REPORT_H
 
+#include "lfsmr/telemetry.h"
 #include "support/stats.h"
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -92,6 +94,13 @@ struct DataPoint {
   /// point ran under. Negative means "no skew dimension"; JSON emits
   /// `zipf_theta` and csv/human print it only when >= 0.
   double ZipfTheta = -1.0;
+  /// Optional end-of-run telemetry snapshot of the store the point ran
+  /// against (`store::stats()` after the last repeat quiesced): the
+  /// same schema `lfsmr::telemetry::to_json` renders, embedded as the
+  /// point's `stats` object so a BENCH document carries scheme-level
+  /// accounting (retired/freed/unreclaimed/era) and store counters next
+  /// to the throughput numbers. JSON-only; csv/human omit it.
+  std::optional<lfsmr::telemetry::store_stats> Stats;
   uint64_t TotalOps = 0;    ///< raw operations summed over repeats
   double WallSec = 0;       ///< measured wall time summed over repeats
 };

@@ -1,0 +1,57 @@
+//===- support/trace.h - Binary trace-event vocabulary ----------*- C++ -*-===//
+//
+// Part of the lfsmr project (Hyaline reproduction, PLDI 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-event taxonomy and the emission macro behind the telemetry
+/// trace rings. This header is deliberately include-free so hot-path
+/// headers (`support/mem_counter.h`, the scheme implementations) can pull
+/// in the macro without dragging the full telemetry layer — or anything
+/// else — into their include graphs.
+///
+/// Emission is compile-time optional twice over: `LFSMR_TRACE_EVENT`
+/// expands to a call into the per-thread trace ring only when the build
+/// defines `LFSMR_TELEMETRY_TRACE` (CMake `-DLFSMR_TELEMETRY_TRACE=ON`)
+/// *and* telemetry itself is not disabled. In every other configuration
+/// the macro is `((void)0)` — no call, no argument evaluation, nothing in
+/// the binary. Because arguments are *not* evaluated when tracing is off,
+/// call sites must never put side effects inside the macro.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LFSMR_SUPPORT_TRACE_H
+#define LFSMR_SUPPORT_TRACE_H
+
+namespace lfsmr::telemetry {
+
+/// The trace-event taxonomy (see ARCHITECTURE.md "Telemetry"): one tag
+/// per reclamation-relevant transition an operator may need to order
+/// against the others when diagnosing unreclaimed growth.
+enum class TraceEvent : unsigned char {
+  Retire,      ///< a node entered a retirement list (arg: unused)
+  Reclaim,     ///< a retired node's storage was handed back (arg: unused)
+  EraAdvance,  ///< a scheme's global era/epoch ticked (arg: new value)
+  SlowAcquire, ///< a snapshot open fell off the one-RMW fast path
+               ///< (arg: the stamp it tried to open at)
+  CommitAbort, ///< a multi-key transaction commit aborted (arg: read stamp)
+};
+
+/// Human/JSON-stable name of \p E ("retire", "era-advance", ...).
+const char *traceEventName(TraceEvent E);
+
+/// Appends one event to the calling thread's trace ring. Only referenced
+/// through `LFSMR_TRACE_EVENT`; defined unconditionally (support/telemetry.cpp)
+/// so traced and untraced translation units link together.
+void traceEmit(TraceEvent E, unsigned long long Arg);
+
+} // namespace lfsmr::telemetry
+
+#if defined(LFSMR_TELEMETRY_TRACE) && !defined(LFSMR_TELEMETRY_DISABLED)
+#define LFSMR_TRACE_EVENT(E, A) ::lfsmr::telemetry::traceEmit((E), (A))
+#else
+#define LFSMR_TRACE_EVENT(E, A) ((void)0)
+#endif
+
+#endif // LFSMR_SUPPORT_TRACE_H

@@ -26,8 +26,11 @@ cmake --install "$BUILD/lib"
 
 test -f "$PREFIX/include/lfsmr/lfsmr.h"
 test -f "$PREFIX/include/lfsmr/kv.h"
+test -f "$PREFIX/include/lfsmr/telemetry.h"
 test -f "$PREFIX/include/lfsmr/version.h"
 test -f "$PREFIX/include/lfsmr/impl/core/hyaline.h"
+test -f "$PREFIX/include/lfsmr/impl/support/telemetry.h"
+test -f "$PREFIX/include/lfsmr/impl/support/trace.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/store.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/snapshot_registry.h"
 test -f "$PREFIX/include/lfsmr/impl/kv/codec.h"
@@ -63,5 +66,8 @@ if grep -q " $PWD/src/" "$DEPS" || grep -q " $PWD/include/" "$DEPS"; then
   exit 1
 fi
 grep -q "$PREFIX/include/lfsmr/lfsmr.h" "$DEPS"
+# The consumer's telemetryRoundTrip must have pulled the installed
+# telemetry header (directly and through the umbrella).
+grep -q "$PREFIX/include/lfsmr/telemetry.h" "$DEPS"
 
 echo "install check OK"
