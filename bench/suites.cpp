@@ -14,6 +14,7 @@
 #include "core/hyaline_packed.h"
 #include "core/hyaline_s.h"
 #include "lfsmr/kv.h"
+#include "lfsmr/kv_async.h"
 #include "lfsmr/version.h"
 #include "smr/ebr.h"
 #include "smr/he.h"
@@ -775,6 +776,84 @@ void runKvSuite(const CommandLine &Cmd, report::Report &Rep) {
 }
 
 //===----------------------------------------------------------------------===//
+// Shared per-repeat scaffolding (kv-snap-cycle / kv-serve / kv-async)
+//===----------------------------------------------------------------------===//
+
+/// One measured repeat of a store-level panel, as its runner hands it
+/// back to the shared point-accumulation helpers below.
+struct ServeRepeat {
+  double Mops = 0;
+  uint64_t Ops = 0;
+  double Elapsed = 0;
+  double AvgUnreclaimed = 0;
+  double PeakUnreclaimed = 0;
+  /// Summary of the repeat's shared latency histogram (count == 0 when
+  /// nothing was recorded, e.g. under LFSMR_TELEMETRY=OFF).
+  telemetry::histogram_summary Lat;
+  /// End-of-repeat `store::stats()` snapshot, embedded in the point's
+  /// `stats` block (the last repeat wins).
+  telemetry::store_stats Stats;
+};
+
+/// Folds the sampled unreclaimed series of one repeat; finish() falls
+/// back to the end-of-run residual when the run was too short to sample.
+struct UnreclaimedSampler {
+  double Sum = 0;
+  int64_t Peak = 0;
+  uint64_t Samples = 0;
+
+  void take(int64_t U) {
+    Sum += static_cast<double>(U);
+    if (U > Peak)
+      Peak = U;
+    ++Samples;
+  }
+
+  void finish(ServeRepeat &Rr, int64_t Residual) const {
+    Rr.AvgUnreclaimed = Samples ? Sum / static_cast<double>(Samples)
+                                : static_cast<double>(Residual);
+    Rr.PeakUnreclaimed = Samples ? static_cast<double>(Peak)
+                                 : static_cast<double>(Residual);
+  }
+};
+
+/// Folds one finished repeat into its data point — the accumulation
+/// block every store panel used to carry by hand.
+void addRepeat(report::DataPoint &Pt, const ServeRepeat &Rr) {
+  Pt.Mops.add(Rr.Mops);
+  Pt.AvgUnreclaimed.add(Rr.AvgUnreclaimed);
+  Pt.PeakUnreclaimed.add(Rr.PeakUnreclaimed);
+  addLatency(Pt, Rr.Lat);
+  Pt.TotalOps += Rr.Ops;
+  Pt.WallSec += Rr.Elapsed;
+  Pt.Stats = Rr.Stats;
+}
+
+/// The per-repeat histogram setup shared by the store-level panels of
+/// kv-snap-cycle, kv-serve, and kv-async: fresh latency histogram +
+/// unreclaimed sampler around one timedPhaseSampled run over \p Db,
+/// stats snapshot and summaries folded into the returned repeat.
+/// \p Fn is invoked as Fn(Tid, Lat, Stop) and returns the thread's op
+/// count.
+template <typename Store, typename Body>
+ServeRepeat measuredStoreRepeat(Store &Db, unsigned Threads, double Secs,
+                                Body &&Fn) {
+  telemetry::Histogram Lat;
+  ServeRepeat Rr;
+  UnreclaimedSampler U;
+  timedPhaseSampled(
+      Threads, Secs,
+      [&](unsigned Tid, std::atomic<bool> &Stop) {
+        return Fn(Tid, Lat, Stop);
+      },
+      [&] { U.take(Db.stats().unreclaimed); }, Rr.Mops, Rr.Ops, Rr.Elapsed);
+  Rr.Stats = Db.stats();
+  U.finish(Rr, Rr.Stats.unreclaimed);
+  Rr.Lat = Lat.summarize();
+  return Rr;
+}
+
+//===----------------------------------------------------------------------===//
 // kv-snap-cycle: snapshot open/close fast-path latency (one-RMW acquire)
 //===----------------------------------------------------------------------===//
 
@@ -828,30 +907,24 @@ void runSnapCyclePanel(const char *Panel, const char *Mix, uint64_t TickEvery,
       kv::SnapshotRegistry Reg(
           std::max<std::size_t>(8, static_cast<std::size_t>(T)));
       telemetry::Histogram Lat;
-      double Mops = 0, Elapsed = 0;
-      uint64_t Ops = 0;
+      ServeRepeat Rr;
       timedPhase(
           static_cast<unsigned>(T), O.Secs,
           [&](unsigned Tid, std::atomic<bool> &Stop) {
             (void)Tid;
             return snapCycleWorker(Reg, Lat, TickEvery, Stop);
           },
-          Mops, Ops, Elapsed);
-      Pt.Mops.add(Mops);
-      Pt.AvgUnreclaimed.add(0.0); // no allocation on this path
-      Pt.PeakUnreclaimed.add(0.0);
-      addLatency(Pt, Lat.summarize());
-      Pt.TotalOps += Ops;
-      Pt.WallSec += Elapsed;
-      // No store behind this panel; synthesize the registry's share of
-      // the stats block so the acquire counters still ride the report.
+          Rr.Mops, Rr.Ops, Rr.Elapsed);
+      Rr.Lat = Lat.summarize();
+      // No store behind this panel (and no allocation, so unreclaimed
+      // stays 0); synthesize the registry's share of the stats block so
+      // the acquire counters still ride the report.
       const kv::SnapshotRegistry::AcquireStats A = Reg.acquireStats();
-      telemetry::store_stats St{};
-      St.version_clock = Reg.clock();
-      St.snapshot_slots = Reg.slotCapacity();
-      St.slow_acquires = A.SlowAcquires;
-      St.fast_rejects = A.FastRejects;
-      Pt.Stats = St;
+      Rr.Stats.version_clock = Reg.clock();
+      Rr.Stats.snapshot_slots = Reg.slotCapacity();
+      Rr.Stats.slow_acquires = A.SlowAcquires;
+      Rr.Stats.fast_rejects = A.FastRejects;
+      addRepeat(Pt, Rr);
     }
     Rep.addPoint(Pt);
   }
@@ -904,25 +977,15 @@ template <typename S> struct KvSnapCycleOp {
             KvSuiteOp<S>::pointOptions(static_cast<unsigned>(T), O.KeyRange));
         for (uint64_t K = 0; K < O.Prefill; ++K)
           Db->put(0, K, K * 2);
-        telemetry::Histogram Lat;
-        double Mops = 0, Elapsed = 0;
-        uint64_t Ops = 0;
-        timedPhase(
-            static_cast<unsigned>(T), O.Secs,
-            [&](unsigned Tid, std::atomic<bool> &Stop) {
-              return worker(*Db, Lat,
-                            Tid, SplitMix64(O.Seed + R * 1024 + Tid).next(),
-                            O.KeyRange, Stop);
-            },
-            Mops, Ops, Elapsed);
-        const telemetry::store_stats MS = Db->stats();
-        Pt.Mops.add(Mops);
-        Pt.AvgUnreclaimed.add(static_cast<double>(MS.unreclaimed));
-        Pt.PeakUnreclaimed.add(static_cast<double>(MS.unreclaimed));
-        addLatency(Pt, Lat.summarize());
-        Pt.TotalOps += Ops;
-        Pt.WallSec += Elapsed;
-        Pt.Stats = MS;
+        addRepeat(Pt, measuredStoreRepeat(
+                          *Db, static_cast<unsigned>(T), O.Secs,
+                          [&](unsigned Tid, telemetry::Histogram &Lat,
+                              std::atomic<bool> &Stop) {
+                            return worker(*Db, Lat, Tid,
+                                          SplitMix64(O.Seed + R * 1024 + Tid)
+                                              .next(),
+                                          O.KeyRange, Stop);
+                          }));
       }
       Rep.addPoint(Pt);
     }
@@ -968,44 +1031,6 @@ void runKvSnapCycleSuite(const CommandLine &Cmd, report::Report &Rep) {
 struct KvServeOptions {
   SweepOptions Sweep;
   double ZipfTheta; ///< skew of every panel's key picks, in (0, 1)
-};
-
-/// One repeat of a kv-serve panel, as its runner hands it back to the
-/// shared point-accumulation driver.
-struct ServeRepeat {
-  double Mops = 0;
-  uint64_t Ops = 0;
-  double Elapsed = 0;
-  double AvgUnreclaimed = 0;
-  double PeakUnreclaimed = 0;
-  /// Summary of the repeat's shared latency histogram (count == 0 when
-  /// nothing was recorded, e.g. under LFSMR_TELEMETRY=OFF).
-  telemetry::histogram_summary Lat;
-  /// End-of-repeat `store::stats()` snapshot, embedded in the point's
-  /// `stats` block (the last repeat wins).
-  telemetry::store_stats Stats;
-};
-
-/// Folds the sampled unreclaimed series of one repeat; finish() falls
-/// back to the end-of-run residual when the run was too short to sample.
-struct UnreclaimedSampler {
-  double Sum = 0;
-  int64_t Peak = 0;
-  uint64_t Samples = 0;
-
-  void take(int64_t U) {
-    Sum += static_cast<double>(U);
-    if (U > Peak)
-      Peak = U;
-    ++Samples;
-  }
-
-  void finish(ServeRepeat &Rr, int64_t Residual) const {
-    Rr.AvgUnreclaimed = Samples ? Sum / static_cast<double>(Samples)
-                                : static_cast<double>(Residual);
-    Rr.PeakUnreclaimed = Samples ? static_cast<double>(Peak)
-                                 : static_cast<double>(Residual);
-  }
 };
 
 /// Stride between latency-sampled serve ops (power of two), matching the
@@ -1140,16 +1165,8 @@ template <typename S> struct KvServeOp {
       Pt.Scheme = Scheme;
       Pt.Threads = T;
       Pt.ZipfTheta = KO.ZipfTheta;
-      for (unsigned R = 0; R < KO.Sweep.Repeats; ++R) {
-        const ServeRepeat Rr = RunOne(T, R);
-        Pt.Mops.add(Rr.Mops);
-        Pt.AvgUnreclaimed.add(Rr.AvgUnreclaimed);
-        Pt.PeakUnreclaimed.add(Rr.PeakUnreclaimed);
-        addLatency(Pt, Rr.Lat);
-        Pt.TotalOps += Rr.Ops;
-        Pt.WallSec += Rr.Elapsed;
-        Pt.Stats = Rr.Stats;
-      }
+      for (unsigned R = 0; R < KO.Sweep.Repeats; ++R)
+        addRepeat(Pt, RunOne(T, R));
       Rep.addPoint(Pt);
     }
   }
@@ -1186,7 +1203,6 @@ template <typename S> struct KvServeOp {
     for (uint64_t K = 0; K < O.Prefill; ++K)
       Db->put(0, K, K * 2);
     const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
-    telemetry::Histogram Lat;
     std::unique_ptr<workload::StalledSnapshotHolder<U64Store>> Holder;
     if (Stall) {
       // The holder squats on the reserved id T. It briefly pins the trim
@@ -1200,21 +1216,19 @@ template <typename S> struct KvServeOp {
       Holder->waitUntilHeld();
       Holder->releaseSnapshot();
     }
-    ServeRepeat Rr;
-    UnreclaimedSampler U;
-    timedPhaseSampled(
-        T, O.Secs,
-        [&](unsigned Tid, std::atomic<bool> &Stop) {
+    ServeRepeat Rr = measuredStoreRepeat(
+        *Db, T, O.Secs,
+        [&](unsigned Tid, telemetry::Histogram &Lat,
+            std::atomic<bool> &Stop) {
           return kvServeMixWorker(*Db, Z, Lat, WriteHeavy, Tid,
                                   workerSeed(KO, R, Tid), Stop);
-        },
-        [&] { U.take(Db->stats().unreclaimed); }, Rr.Mops, Rr.Ops,
-        Rr.Elapsed);
-    if (Holder)
+        });
+    if (Holder) {
+      // Unpark the holder before the stats snapshot so the stall panel
+      // keeps reporting the post-release state of the store.
       Holder->release();
-    Rr.Stats = Db->stats();
-    U.finish(Rr, Rr.Stats.unreclaimed);
-    Rr.Lat = Lat.summarize();
+      Rr.Stats = Db->stats();
+    }
     return Rr;
   }
 
@@ -1317,21 +1331,13 @@ template <typename S> struct KvServeOp {
                       std::string(Dist.sample(PrefillRng), 'v'));
           }
           const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
-          telemetry::Histogram Lat;
-          ServeRepeat Rr;
-          UnreclaimedSampler U;
-          timedPhaseSampled(
-              T, O.Secs,
-              [&](unsigned Tid, std::atomic<bool> &Stop) {
+          return measuredStoreRepeat(
+              *Db, T, O.Secs,
+              [&](unsigned Tid, telemetry::Histogram &Lat,
+                  std::atomic<bool> &Stop) {
                 return kvServeStringWorker(*Db, Z, Dist, Lat, Tid,
                                            workerSeed(KO, R, Tid), Stop);
-              },
-              [&] { U.take(Db->stats().unreclaimed); }, Rr.Mops, Rr.Ops,
-              Rr.Elapsed);
-          Rr.Stats = Db->stats();
-          U.finish(Rr, Rr.Stats.unreclaimed);
-          Rr.Lat = Lat.summarize();
-          return Rr;
+              });
         });
   }
 };
@@ -1380,6 +1386,208 @@ void runKvServeSuite(const CommandLine &Cmd, report::Report &Rep) {
            "byte-identical store/config without it, so comparing the two "
            "mixes' lat_p50_ns/lat_p99_ns isolates the stall's tail-"
            "latency cost per scheme");
+}
+
+//===----------------------------------------------------------------------===//
+// kv-async: batched submission write path vs the direct sync API
+//===----------------------------------------------------------------------===//
+
+/// One direct-API writer (80p/20e over zipf-ranked keys — ingest with a
+/// hot set, the serving-shaped write load): the sync side of the
+/// kv-async A/B. Every ServeLatStride-th op is latency-timed.
+template <typename S>
+uint64_t kvAsyncSyncWorker(kv::Store<S> &Db,
+                           const workload::ZipfianGenerator &Z,
+                           telemetry::Histogram &Lat, unsigned Tid,
+                           uint64_t Seed, std::atomic<bool> &Stop) {
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      const uint64_t K = Z.next(Rng);
+      const bool Timed = (Ops & (ServeLatStride - 1)) == 0;
+      std::chrono::steady_clock::time_point T0;
+      if (Timed)
+        T0 = std::chrono::steady_clock::now();
+      if (Rng.nextPercent(80))
+        Db.put(Tid, K, K * 2);
+      else
+        Db.erase(Tid, K);
+      if (Timed)
+        recordNsSince(Lat, T0);
+    }
+  }
+  return Ops;
+}
+
+/// The async twin: the same 80p/20e mix submitted through a shared
+/// `kv::submitter`, paced by a closed-loop CompletionWindow of \p Window
+/// in-flight futures per thread. The timed unit is one submit+push —
+/// which *includes* the wait for the window's oldest completion once the
+/// pipeline is full, so the sampled latency is the honest closed-loop
+/// client-visible cost, directly comparable to the sync panel's per-op
+/// number.
+template <typename Submitter>
+uint64_t kvAsyncSubmitWorker(Submitter &Sub,
+                             const workload::ZipfianGenerator &Z,
+                             telemetry::Histogram &Lat, std::size_t Window,
+                             unsigned Tid, uint64_t Seed,
+                             std::atomic<bool> &Stop) {
+  workload::CompletionWindow<typename Submitter::future> Win(Tid, Window);
+  Xoshiro256 Rng(Seed);
+  uint64_t Ops = 0;
+  while (!Stop.load(std::memory_order_relaxed) && Ops < MicroOpsCap) {
+    for (unsigned I = 0; I < 64; ++I, ++Ops) {
+      const uint64_t K = Z.next(Rng);
+      const bool Timed = (Ops & (ServeLatStride - 1)) == 0;
+      std::chrono::steady_clock::time_point T0;
+      if (Timed)
+        T0 = std::chrono::steady_clock::now();
+      if (Rng.nextPercent(80))
+        Win.push(Sub.put(Tid, K, K * 2));
+      else
+        Win.push(Sub.erase(Tid, K));
+      if (Timed)
+        recordNsSince(Lat, T0);
+    }
+  }
+  Win.drain();
+  return Ops;
+}
+
+/// The write-path A/B: panel sync-write drives the direct store API,
+/// panels async-w16/async-w64 push the identical mix through the
+/// per-shard submission rings with 16/64 in-flight ops per client. The
+/// async panels' stats blocks carry the submission-layer telemetry
+/// (async_submits, combiner_takeovers, sync_fallbacks, submit_batch_len)
+/// so the amortization — ops per combined guard/stamp window — reads
+/// straight out of the report next to the throughput delta.
+template <typename S> struct KvAsyncOp {
+  using Store = kv::Store<S>;
+  using SubmitterT = kv::Submitter<S>;
+
+  static ServeRepeat repeat(bool Async, std::size_t Window,
+                            const KvServeOptions &KO, unsigned T,
+                            unsigned R) {
+    const SweepOptions &O = KO.Sweep;
+    // Fewer shards than the other kv suites: submission rings are
+    // per-shard, so shard count divides batch depth — and with it the
+    // same-key coalescing the suite exists to measure. Both sides of
+    // the A/B run the identical store config.
+    auto StoreOpts = KvSuiteOp<S>::pointOptions(T, O.KeyRange);
+    StoreOpts.Shards = 4;
+    auto Db = std::make_unique<Store>(std::move(StoreOpts));
+    for (uint64_t K = 0; K < O.Prefill; ++K)
+      Db->put(0, K, K * 2);
+    const workload::ZipfianGenerator Z(O.KeyRange, KO.ZipfTheta);
+    std::unique_ptr<SubmitterT> Sub;
+    if (Async) {
+      // Oversubscription tuning: deep rings so a descheduled combiner
+      // doesn't throw the fleet into sync fallback, and a minimal wait
+      // spin — when threads far outnumber cores, spinning on a
+      // completion word burns the very timeslice the combiner needs.
+      kv::async_options AO;
+      // Rings must hold the whole closed-loop in-flight population
+      // (T x Window spread over the shards, 2x slack) or every submit
+      // degenerates into a sync fallback and nothing ever batches.
+      AO.RingCapacity = std::max<std::size_t>(
+          4096, 2 * static_cast<std::size_t>(T) * Window /
+                    Db->options().Shards);
+      AO.WaitSpins = 1;
+      AO.CombineDelay = 8;
+      Sub = std::make_unique<SubmitterT>(*Db, AO);
+    }
+    ServeRepeat Rr = measuredStoreRepeat(
+        *Db, T, O.Secs,
+        [&](unsigned Tid, telemetry::Histogram &Lat,
+            std::atomic<bool> &Stop) {
+          const uint64_t Seed = SplitMix64(O.Seed + R * 1024 + Tid).next();
+          if (Sub)
+            return kvAsyncSubmitWorker(*Sub, Z, Lat, Window, Tid, Seed,
+                                       Stop);
+          return kvAsyncSyncWorker(*Db, Z, Lat, Tid, Seed, Stop);
+        });
+    if (Sub) {
+      // The destructor drain must run before the store dies anyway; run
+      // it before the final stats capture so the point's stats block
+      // reflects every batch the repeat submitted.
+      Sub.reset();
+      Rr.Stats = Db->stats();
+    }
+    return Rr;
+  }
+
+  static void panel(const char *Panel, bool Async, std::size_t Window,
+                    const std::string &Scheme, const KvServeOptions &KO,
+                    report::Report &Rep) {
+    for (const int64_t T : KO.Sweep.Threads) {
+      report::DataPoint Pt;
+      Pt.Suite = "kv-async";
+      Pt.Panel = Panel;
+      Pt.Structure = "kv";
+      Pt.Mix = "write";
+      Pt.Scheme = Scheme;
+      Pt.Threads = static_cast<unsigned>(T);
+      Pt.ZipfTheta = KO.ZipfTheta;
+      for (unsigned R = 0; R < KO.Sweep.Repeats; ++R)
+        addRepeat(Pt, repeat(Async, Window, KO, static_cast<unsigned>(T), R));
+      Rep.addPoint(Pt);
+    }
+  }
+
+  static void run(const std::string &Scheme, const KvServeOptions &KO,
+                  report::Report &Rep) {
+    panel("sync-write", /*Async=*/false, 0, Scheme, KO, Rep);
+    panel("async-w64", /*Async=*/true, 64, Scheme, KO, Rep);
+    panel("async-w1024", /*Async=*/true, 1024, Scheme, KO, Rep);
+  }
+};
+
+void runKvAsyncSuite(const CommandLine &Cmd, report::Report &Rep) {
+  KvServeOptions KO;
+  KO.Sweep = parseSweep(Cmd);
+  // The submission layer earns its keep when clients outnumber cores
+  // (combining collapses context-switched writers into one applier pass),
+  // so the full sweep climbs well past hardware_concurrency.
+  const bool Full = Cmd.has("full");
+  const unsigned HW = std::thread::hardware_concurrency();
+  std::vector<int64_t> Def;
+  if (Full)
+    Def = {2, 4, 8, 16, 32, 64, 256};
+  else
+    Def = {2, static_cast<int64_t>(HW ? HW : 4)};
+  KO.Sweep.Threads = Cmd.getIntList("threads", Def);
+  checkThreadList(KO.Sweep.Threads);
+  KO.ZipfTheta = Cmd.getDouble("zipf-theta", 0.99);
+  if (!(KO.ZipfTheta > 0.0 && KO.ZipfTheta < 1.0)) {
+    std::fprintf(stderr, "error: --zipf-theta must be in (0, 1)\n");
+    std::exit(2);
+  }
+  for (const std::string &Scheme : KO.Sweep.Schemes)
+    dispatchScheme<KvAsyncOp>(Scheme, KO, Rep);
+  Rep.note("kv-async: sync-write drives the direct store API; async-w64/"
+           "async-w1024 submit the identical 80p/20e zipf-skewed mix "
+           "through kv::submitter with 64/1024 in-flight ops per client "
+           "(closed-loop), so same-threads panel pairs are a direct "
+           "write-path A/B — shallow windows buy tail latency, deep "
+           "windows buy batch depth and with it throughput; combined "
+           "batches fold same-key ops into one published version, so "
+           "the hot set is where batching pays");
+  Rep.note("kv-async: async latency is per submit+push including the "
+           "closed-loop wait for the window's oldest completion — "
+           "client-visible time per op, comparable to sync per-op "
+           "latency");
+  Rep.note("kv-async: async panels' stats blocks carry the submission "
+           "layer's counters — submit_batch_len is requests per combined "
+           "guard/stamp window (the MinBatch amortization applied to the "
+           "write path), sync_fallbacks counts ring-full backpressure "
+           "events");
+  Rep.note("kv-async: a combined batch applies under ONE guard, so batch "
+           "depth is also a guard-length robustness probe — the "
+           "hyaline family tolerates the long guard (per-batch "
+           "accounting), while epoch-family schemes stall reclamation "
+           "behind it and collapse at deep windows; compare schemes "
+           "before copying the async defaults");
 }
 
 //===----------------------------------------------------------------------===//
@@ -1703,6 +1911,9 @@ const std::vector<Suite> &lfsmr::bench::allSuites() {
       {"kv-serve",
        "serving realism: zipf skew, thread churn, oversub, stalled reader",
        &runKvServeSuite},
+      {"kv-async",
+       "batched submission write path vs direct sync API (A/B)",
+       &runKvAsyncSuite},
       {"enter-leave", "SMR primitive microbenchmarks (Section 3.2 costs)",
        &runEnterLeaveSuite},
       {"ablation", "Hyaline Slots x MinBatch knob sweep (Section 3.2)",

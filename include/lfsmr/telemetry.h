@@ -119,6 +119,15 @@ struct store_stats : domain_stats {
   std::uint64_t txn_commits = 0;
   /// Transactional commits that aborted on conflict or kill.
   std::uint64_t txn_aborts = 0;
+  /// Write ops submitted through the async batched write path
+  /// (`kv::submitter`), whether they rode a ring or fell back to sync.
+  std::uint64_t async_submits = 0;
+  /// Times a thread took a shard's flat-combining lock and drained its
+  /// submission ring (each takeover may apply several batches).
+  std::uint64_t combiner_takeovers = 0;
+  /// Async submits that found their shard's ring full and applied the
+  /// op synchronously instead (backpressure events).
+  std::uint64_t sync_fallbacks = 0;
   /// Sampled latency of `open_snapshot()` in nanoseconds.
   histogram_summary snapshot_open_ns;
   /// Version-chain nodes visited per trim walk (boundary descent plus
@@ -126,6 +135,9 @@ struct store_stats : domain_stats {
   histogram_summary trim_walk_len;
   /// Sampled latency of transactional commits in nanoseconds.
   histogram_summary txn_commit_ns;
+  /// Requests applied per async combined batch (the amortization win:
+  /// one guard + one stamp window per recorded value).
+  histogram_summary submit_batch_len;
 };
 
 /// Renders \p S as one pretty-printed JSON object (the schema embedded in

@@ -23,6 +23,11 @@
 ///                     protocol + cooperative lock-free bucket growth
 ///   kv/scan.h         snapshot-consistent whole-store scans + filters
 ///
+/// Two optional layers sit on top: `kv/txn.h` (atomic multi-key
+/// transactions) and `kv/submit.h` (the async batched write path:
+/// per-shard submission rings drained by a flat-combining applier into
+/// `applyAsyncBatch` below — one guard, one stamp window per batch).
+///
 /// Shape:
 ///
 ///   store ── shard[0..S) ── split-ordered list (buckets = dummy nodes
@@ -151,6 +156,7 @@ struct Options {
 };
 
 template <typename Scheme, typename K, typename V> class Txn;
+template <typename Scheme, typename K, typename V> class Submitter;
 
 /// Sharded, versioned KV store with snapshot reads and scans, generic
 /// over the reclamation scheme \p Scheme and the key/value types
@@ -527,9 +533,13 @@ public:
     St.index_resizes = Index->resizeCount();
     St.txn_commits = TxnCommits.total();
     St.txn_aborts = TxnAborts.total();
+    St.async_submits = AsyncSubmits.total();
+    St.combiner_takeovers = CombinerTakeovers.total();
+    St.sync_fallbacks = SyncFallbacks.total();
     St.snapshot_open_ns = SnapOpenNs.summarize();
     St.trim_walk_len = TrimWalkLen.summarize();
     St.txn_commit_ns = TxnCommitNs.summarize();
+    St.submit_batch_len = SubmitBatchLen.summarize();
     return St;
   }
 
@@ -1258,6 +1268,26 @@ private:
       (void)readAt(G, toK(Pos.CurrRaw), T);
   }
 
+  /// `settlePublished` fused with the trim the write owes the chain:
+  /// ONE find serves both the settling walk (`readAt` at the commit
+  /// stamp — the cache CAS *is* the settle) and the suffix trim. The
+  /// async batch engine's per-group path: the find's key protection
+  /// spans both walks (`readAt` and `trimChain` cycle only the V
+  /// slots), so the safety argument is exactly the sequential pair's,
+  /// at one index traversal instead of two.
+  void settleAndTrim(guard_type &G, const K &Key, std::uint64_t H,
+                     std::uint64_t T) {
+    const std::size_t S = shardOf(H);
+    const Probe P{itemSoKey(H), &Key};
+    const typename Index_t::Position Pos =
+        Index->find(G, S, H, P, /*InitBuckets=*/false);
+    if (!Pos.Found)
+      return;
+    KNode *KN = toK(Pos.CurrRaw);
+    (void)readAt(G, KN, T);
+    trimChain(G, KN, S, H, P);
+  }
+
   /// Abort-path sweep for one published entry: while the key's head
   /// still carries our commit record, cache the Aborted stamp into it
   /// and unpublish it. A head not carrying \p C proves our version was
@@ -1341,11 +1371,7 @@ private:
       if (!R.Published)
         return ReadStamp; // no-op erase: trivially committed
       const std::uint64_t T = Registry.resolve(vr(R.Published).Stamp);
-      const Probe P{itemSoKey(E.Hash), &E.Key};
-      const typename Index_t::Position Pos =
-          Index->find(G, shardOf(E.Hash), E.Hash, P, /*InitBuckets=*/false);
-      if (Pos.Found)
-        trimChain(G, toK(Pos.CurrRaw), shardOf(E.Hash), E.Hash, P);
+      trimAt(G, E.Key, E.Hash);
       return T;
     }
 
@@ -1405,19 +1431,197 @@ private:
     TR.Committed = Committed;
     if (!Committed)
       return std::nullopt;
-    for (std::size_t I = 0; I < Set.size(); ++I) {
-      if (!Published[I])
-        continue;
-      const Probe P{itemSoKey(Set[I].Hash), &Set[I].Key};
-      const typename Index_t::Position Pos = Index->find(
-          G, shardOf(Set[I].Hash), Set[I].Hash, P, /*InitBuckets=*/false);
-      if (Pos.Found)
-        trimChain(G, toK(Pos.CurrRaw), shardOf(Set[I].Hash), Set[I].Hash, P);
-    }
+    for (std::size_t I = 0; I < Set.size(); ++I)
+      if (Published[I])
+        trimAt(G, Set[I].Key, Set[I].Hash);
     return T;
   }
 
   friend class Txn<Scheme, K, V>;
+
+  //===------------------------------------------------------------------===//
+  // Async submission batch engine (driven by kv/submit.h)
+  //===------------------------------------------------------------------===//
+
+  /// Re-finds \p Key and trims its version chain (shared post-publish
+  /// epilogue of the write, commit, and batch paths).
+  void trimAt(guard_type &G, const K &Key, std::uint64_t H) {
+    const Probe P{itemSoKey(H), &Key};
+    const typename Index_t::Position Pos =
+        Index->find(G, shardOf(H), H, P, /*InitBuckets=*/false);
+    if (Pos.Found)
+      trimChain(G, toK(Pos.CurrRaw), shardOf(H), H, P);
+  }
+
+  /// Publishes ONE version carrying the folded result of the same-key
+  /// request group `Batch[Begin, End)`: settles the head, folds every
+  /// request in submission order against the key's current visible
+  /// value, and CAS-appends a single version holding the final state —
+  /// or nothing when the fold is a no-op (erases of a dead key).
+  /// \p Req is duck-typed: `key()`, `hash()`, and
+  /// `fold(std::optional<V>&&) -> std::optional<V>` (which records the
+  /// request's own completion result; a lost append race re-runs the
+  /// folds against the new head, so they must be repeatable).
+  ///
+  /// With \p C null the append is a solo write — the caller must
+  /// `resolve` the returned version's stamp. With \p C set the version
+  /// carries the shared commit record and its stamp stays Pending until
+  /// the record settles; the returned pointer is then only good for a
+  /// null test (invariant 2 keeps the version alive, but the VSlotSelf
+  /// protection is recycled by the next group's publish).
+  template <typename Req>
+  VNode *publishGroupFold(guard_type &G, Req *const *Batch,
+                          std::size_t Begin, std::size_t End, CNode *C) {
+    const K &Key = Batch[Begin]->key();
+    const std::uint64_t H = Batch[Begin]->hash();
+    const std::size_t S = shardOf(H);
+    const Probe P{itemSoKey(H), &Key};
+    const std::uintptr_t CRaw = C ? rawC(C) : 0;
+    for (;;) {
+      const typename Index_t::Position Pos =
+          Index->find(G, S, H, P, /*InitBuckets=*/true);
+      std::uintptr_t Hd = 0;
+      KNode *KN = nullptr;
+      std::optional<V> Cur;
+      if (Pos.Found) {
+        KN = toK(Pos.CurrRaw);
+        std::uint64_t HdStamp;
+        if (!settleHeadForWrite(G, KN, S, H, P, Hd, HdStamp))
+          continue; // key died under us: re-find (a put re-inserts)
+        if (VNode *HeadV = toV(Hd); HeadV && !vr(HeadV).Tombstone)
+          Cur.emplace(Codec<V>::decode(vr(HeadV).Val));
+      }
+      const bool WasLive = Cur.has_value();
+      std::optional<V> Folded = std::move(Cur);
+      for (std::size_t I = Begin; I < End; ++I)
+        Folded = Batch[I]->fold(std::move(Folded));
+      if (!Folded.has_value() && !WasLive)
+        return nullptr; // the group folds to a no-op: publish nothing
+      const bool Tomb = !Folded.has_value();
+      if (!Pos.Found) {
+        VNode *FreshV = makeVersion(G, &*Folded, false, 0, CRaw);
+        KNode *FreshK = makeKey(G, Key, P.SoKey, rawV(FreshV));
+        protectSelf(G, FreshV);
+        if (Index->insertAt(G, S, Pos, rawK(FreshK)))
+          return FreshV;
+        discardVersion(G, FreshV);
+        discardKey(G, FreshK);
+        continue;
+      }
+      VNode *FreshV =
+          makeVersion(G, Folded ? &*Folded : nullptr, Tomb, Hd, CRaw);
+      std::uintptr_t Expected = Hd;
+      protectSelf(G, FreshV);
+      if (kr(KN).VHead.compare_exchange_strong(Expected, rawV(FreshV),
+                                               std::memory_order_seq_cst,
+                                               std::memory_order_seq_cst))
+        return FreshV;
+      // Head moved (a racing writer appended): the folded value may be
+      // stale — remake from a fresh head, like `merge`.
+      discardVersion(G, FreshV);
+    }
+  }
+
+  /// Applies one drained submission batch — the `kv/submit.h` engine.
+  /// \p Batch must hold same-key requests adjacent, submission order
+  /// preserved within a key (the submitter's stable sort). The caller's
+  /// combiner already paid the per-batch costs this amortizes: the whole
+  /// batch runs under the ONE guard entered here, and multi-key batches
+  /// settle under ONE commit record resolved with ONE clock tick (the
+  /// PR 7 machinery), so snapshot reads and scans observe the batch
+  /// all-or-nothing. Unlike `commitWriteSet` there is no read stamp and
+  /// no conflict abort — submitted writes are unconditional (a
+  /// compare_and_set checks its expectation inside the fold, at apply
+  /// time) — so the only abort source is a racing solo writer's kill,
+  /// and a killed batch (nothing of which ever became visible) retries
+  /// wholesale with a fresh record: the same obstruction-free progress
+  /// class as transactions, with the kill guaranteeing the *other*
+  /// writer completed. Completion results land in the requests (via
+  /// `fold`); the caller publishes them after this returns.
+  template <typename Req>
+  void applyAsyncBatch(thread_id Tid, Req *const *Batch, std::size_t N) {
+    if (!N)
+      return;
+    auto G = Dom->enter(Tid); // ONE guard for the whole batch
+    SubmitBatchLen.record(N);
+
+    // Adjacent same-key requests form one group = one published version.
+    struct Group {
+      std::size_t Begin, End;
+    };
+    std::vector<Group> Groups;
+    Groups.reserve(N);
+    for (std::size_t I = 0; I < N;) {
+      std::size_t J = I + 1;
+      while (J < N && Batch[I]->sameKey(*Batch[J]))
+        ++J;
+      Groups.push_back({I, J});
+      I = J;
+    }
+
+    if (Groups.size() == 1) {
+      // One key: atomic by construction — a solo publish, no record.
+      VNode *VN = publishGroupFold(G, Batch, 0, N, /*C=*/nullptr);
+      if (VN) {
+        Registry.resolve(vr(VN).Stamp);
+        trimAt(G, Batch[0]->key(), Batch[0]->hash());
+      }
+      return;
+    }
+
+    std::vector<bool> Published(Groups.size());
+    for (;;) { // whole-batch retry when a racing writer kills the record
+      CNode *C = makeCommit(G);
+      Published.assign(Groups.size(), false);
+      bool Doomed = false;
+      for (std::size_t GI = 0; GI < Groups.size(); ++GI) {
+        // Stop publishing born-dead versions once a kill is visible.
+        if (cr(C).Stamp.load(std::memory_order_seq_cst) ==
+            SnapshotRegistry::Aborted) {
+          Doomed = true;
+          break;
+        }
+        Published[GI] = publishGroupFold(G, Batch, Groups[GI].Begin,
+                                         Groups[GI].End, C) != nullptr;
+      }
+      std::uint64_t T = 0;
+      bool Committed = false;
+      if (!Doomed) {
+        std::uint64_t Exp = SnapshotRegistry::Unpublished;
+        if (cr(C).Stamp.compare_exchange_strong(
+                Exp, SnapshotRegistry::Pending, std::memory_order_seq_cst,
+                std::memory_order_seq_cst)) {
+          // ONE tick settles the entire batch (helpers CAS benignly).
+          T = Registry.resolveCommit(cr(C).Stamp);
+          Committed = true;
+        }
+      }
+      if (!Committed) {
+        std::uint64_t Exp = SnapshotRegistry::Unpublished;
+        cr(C).Stamp.compare_exchange_strong(Exp, SnapshotRegistry::Aborted,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_seq_cst);
+      }
+      // Invariant 3: every published version's stamp leaves Pending
+      // before the record is retired. The commit sweep fuses the settle
+      // with the trim the write owes the chain (one find per group).
+      for (std::size_t GI = 0; GI < Groups.size(); ++GI) {
+        if (!Published[GI])
+          continue;
+        const Req &R = *Batch[Groups[GI].Begin];
+        if (Committed)
+          settleAndTrim(G, R.key(), R.hash(), T);
+        else
+          abortPublished(G, R.key(), R.hash(), C);
+      }
+      retireCommit(G, C);
+      if (!Committed)
+        continue; // killed: nothing became visible — re-fold, re-publish
+      return;
+    }
+  }
+
+  friend class Submitter<Scheme, K, V>;
 
   /// Trims \p KN's version-chain suffix past the oldest live snapshot:
   /// walks from the head to the *boundary* (the newest version whose
@@ -1612,13 +1816,19 @@ private:
   std::atomic<std::int64_t> Dummies{0};
 
   /// Telemetry (empty with `LFSMR_TELEMETRY=OFF`): sampled open-snapshot
-  /// latency, trim walk lengths, sampled txn commit latency, and exact
-  /// txn outcome counters.
+  /// latency, trim walk lengths, sampled txn commit latency, exact txn
+  /// outcome counters, and the async submission layer's batch-length
+  /// histogram and submit/combine/fallback counters (fed by
+  /// `kv::Submitter` through its friendship; see `kv/submit.h`).
   telemetry::Histogram SnapOpenNs;
   telemetry::Histogram TrimWalkLen;
   telemetry::Histogram TxnCommitNs;
+  telemetry::Histogram SubmitBatchLen;
   telemetry::Counter TxnCommits;
   telemetry::Counter TxnAborts;
+  telemetry::Counter AsyncSubmits;
+  telemetry::Counter CombinerTakeovers;
+  telemetry::Counter SyncFallbacks;
 };
 
 } // namespace lfsmr::kv

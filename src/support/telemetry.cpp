@@ -209,9 +209,13 @@ void writeStoreFields(json::Writer &W, const store_stats &S) {
   W.key("index_resizes").value(S.index_resizes);
   W.key("txn_commits").value(S.txn_commits);
   W.key("txn_aborts").value(S.txn_aborts);
+  W.key("async_submits").value(S.async_submits);
+  W.key("combiner_takeovers").value(S.combiner_takeovers);
+  W.key("sync_fallbacks").value(S.sync_fallbacks);
   writeHistogram(W, "snapshot_open_ns", S.snapshot_open_ns);
   writeHistogram(W, "trim_walk_len", S.trim_walk_len);
   writeHistogram(W, "txn_commit_ns", S.txn_commit_ns);
+  writeHistogram(W, "submit_batch_len", S.submit_batch_len);
 }
 
 /// Prometheus text-format emitter (exposition format 0.0.4). Counters
@@ -285,12 +289,23 @@ void promStore(PromWriter &P, const store_stats &S) {
   P.family("txn_aborts_total",
            "Transactional commits aborted on conflict or kill.", "counter",
            static_cast<double>(S.txn_aborts));
+  P.family("async_submits_total",
+           "Write ops submitted through the async batched write path.",
+           "counter", static_cast<double>(S.async_submits));
+  P.family("combiner_takeovers_total",
+           "Flat-combining lock acquisitions that drained a submission ring.",
+           "counter", static_cast<double>(S.combiner_takeovers));
+  P.family("sync_fallbacks_total",
+           "Async submits that hit a full ring and applied synchronously.",
+           "counter", static_cast<double>(S.sync_fallbacks));
   P.summary("snapshot_open_ns", "Sampled open_snapshot latency (ns).",
             S.snapshot_open_ns);
   P.summary("trim_walk_len", "Version-chain nodes visited per trim walk.",
             S.trim_walk_len);
   P.summary("txn_commit_ns", "Sampled transactional commit latency (ns).",
             S.txn_commit_ns);
+  P.summary("submit_batch_len", "Requests applied per async combined batch.",
+            S.submit_batch_len);
 }
 
 } // namespace

@@ -23,6 +23,9 @@
 ///    *and* squats inside the reclamation scheme on its own thread — the
 ///    paper's stalled-reader adversary (Section 2) aimed at the kv
 ///    serving surface.
+///  - CompletionWindow: closed-loop async client pacing — a bounded
+///    window of in-flight futures (submit N before waiting), the client
+///    shape that lets the async batched write path form batches.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -213,6 +216,66 @@ uint64_t runSessioned(unsigned Workers, const std::atomic<bool> &Stop,
   }
   return Total;
 }
+
+/// Closed-loop async client pacing: keeps up to \p Window completion
+/// futures in flight, waiting for the *oldest* once the window is full —
+/// the standard closed-loop serving shape (each session has bounded
+/// outstanding work, but more than one op, so combiners see batches
+/// instead of single submissions). Usage:
+///
+/// \code
+///   workload::CompletionWindow<kv::Future<Scheme>> Win(Tid, 16);
+///   while (running)
+///     Win.push(Sub.put(Tid, key(), val()));   // waits oldest when full
+///   Win.drain();                              // wait out the tail
+/// \endcode
+///
+/// \p Future must expose `get(Tid)` (consume + wait) and be movable —
+/// `kv::future` is the intended instantiation, but anything with that
+/// shape works. Completion results are discarded (a closed-loop client
+/// measures pacing, not outcomes); call `get` yourself where results
+/// matter. Not thread-safe: one window per client thread.
+template <typename Future> class CompletionWindow {
+public:
+  /// \p Tid is the scheme thread id waits run under (futures help
+  /// combine); \p Window > 0 is the max in-flight count.
+  CompletionWindow(unsigned Tid, std::size_t Window) : Tid(Tid), Cap(Window) {
+    assert(Window > 0 && "a closed loop needs a non-empty window");
+    InFlight.reserve(Window);
+  }
+
+  ~CompletionWindow() { drain(); }
+
+  /// Current in-flight count (always <= window).
+  std::size_t size() const { return InFlight.size(); }
+
+  /// Adds one future to the window; if the window is full, first waits
+  /// for the oldest in-flight op (FIFO — the completion order batches
+  /// naturally produce).
+  void push(Future F) {
+    if (InFlight.size() == Cap) {
+      InFlight[Oldest].get(Tid);
+      InFlight[Oldest] = std::move(F);
+      Oldest = (Oldest + 1) % Cap;
+      return;
+    }
+    InFlight.push_back(std::move(F));
+  }
+
+  /// Waits for every in-flight op, oldest first, emptying the window.
+  void drain() {
+    for (std::size_t I = 0; I < InFlight.size(); ++I)
+      InFlight[(Oldest + I) % InFlight.size()].get(Tid);
+    InFlight.clear();
+    Oldest = 0;
+  }
+
+private:
+  unsigned Tid;
+  std::size_t Cap;
+  std::size_t Oldest = 0; ///< ring start once the window has wrapped
+  std::vector<Future> InFlight;
+};
 
 /// The injectable stalled-reader adversary for kv stores: on its own
 /// thread, enters the reclamation scheme (a guard that never leaves) and

@@ -25,6 +25,7 @@
 //===----------------------------------------------------------------------===//
 
 #include <lfsmr/kv.h>
+#include <lfsmr/kv_async.h>
 #include <lfsmr/schemes.h>
 #include <lfsmr/telemetry.h>
 
@@ -60,6 +61,7 @@ struct WorkloadTotals {
   std::uint64_t Opens = 0;
   std::uint64_t Commits = 0;
   std::uint64_t Aborts = 0;
+  std::uint64_t AsyncIssued = 0;
 };
 
 std::uint64_t mix64(std::uint64_t X) {
@@ -69,12 +71,16 @@ std::uint64_t mix64(std::uint64_t X) {
 }
 
 /// A short serving-shaped workload: per thread, a put/get/erase mix with
-/// periodic snapshot opens (held briefly), and a two-key transaction
-/// every 64 ops so the txn counters and commit-latency histogram fill.
+/// periodic snapshot opens (held briefly), a burst of async batched
+/// writes every 16 ops (half waited on, half fire-and-forget — filling
+/// the submit counters and batch-length histogram), and a two-key
+/// transaction every 64 ops so the txn counters and commit-latency
+/// histogram fill.
 template <typename Scheme>
 WorkloadTotals runWorkload(kv::Store<Scheme> &Db, const ToolOptions &Opt) {
   std::atomic<bool> Stop{false};
   std::vector<WorkloadTotals> PerThread(Opt.Threads);
+  kv::Submitter<Scheme> Sub(Db);
   std::vector<std::thread> Workers;
   Workers.reserve(Opt.Threads);
   for (unsigned T = 0; T < Opt.Threads; ++T)
@@ -104,6 +110,12 @@ WorkloadTotals runWorkload(kv::Store<Scheme> &Db, const ToolOptions &Opt) {
           (void)Db.get(T, K);
           break;
         }
+        if ((Op & 15) == 0) {
+          Sub.put(T, (K + 2) % Opt.Keys, X); // fire-and-forget
+          auto F = Sub.put(T, (K + 3) % Opt.Keys, X ^ 2);
+          W.AsyncIssued += 2;
+          F.get(T);
+        }
         if ((Op & 63) == 0) {
           auto Txn = Db.begin_transaction();
           ++W.Opens; // begin_transaction pins a snapshot
@@ -126,6 +138,7 @@ WorkloadTotals runWorkload(kv::Store<Scheme> &Db, const ToolOptions &Opt) {
     Sum.Opens += W.Opens;
     Sum.Commits += W.Commits;
     Sum.Aborts += W.Aborts;
+    Sum.AsyncIssued += W.AsyncIssued;
   }
   return Sum;
 }
@@ -163,14 +176,23 @@ int reconcile(const telemetry::store_stats &St, const WorkloadTotals &W) {
   Expect(St.slow_acquires <= W.Opens, "slow acquires <= snapshot opens");
   Expect(St.txn_commits == W.Commits, "txn commit counter == issued commits");
   Expect(St.txn_aborts == W.Aborts, "txn abort counter == issued aborts");
+  Expect(St.async_submits == W.AsyncIssued,
+         "async submit counter == issued async ops");
+  Expect(St.sync_fallbacks <= St.async_submits,
+         "sync fallbacks <= async submits");
+  Expect(St.async_submits == St.sync_fallbacks ||
+             St.combiner_takeovers >= 1,
+         "ring-applied ops imply a combiner takeover");
 #else
   (void)W;
-  Expect(St.slow_acquires == 0 && St.txn_commits == 0,
+  Expect(St.slow_acquires == 0 && St.txn_commits == 0 &&
+             St.async_submits == 0,
          "disabled telemetry reads zero");
 #endif
   checkSummary("snapshot_open_ns", St.snapshot_open_ns, Failures);
   checkSummary("trim_walk_len", St.trim_walk_len, Failures);
   checkSummary("txn_commit_ns", St.txn_commit_ns, Failures);
+  checkSummary("submit_batch_len", St.submit_batch_len, Failures);
   return Failures;
 }
 
@@ -187,6 +209,9 @@ void printHuman(const char *SchemeName, const telemetry::store_stats &St) {
               St.slow_acquires, St.fast_rejects, St.index_resizes);
   std::printf("  txn_commits %" PRIu64 "  txn_aborts %" PRIu64 "\n",
               St.txn_commits, St.txn_aborts);
+  std::printf("  async_submits %" PRIu64 "  combiner_takeovers %" PRIu64
+              "  sync_fallbacks %" PRIu64 "\n",
+              St.async_submits, St.combiner_takeovers, St.sync_fallbacks);
   auto Hist = [](const char *Name, const telemetry::histogram_summary &H) {
     std::printf("  %s: count %" PRIu64 " mean %.0f p50 %.0f p90 %.0f "
                 "p99 %.0f max %.0f\n",
@@ -195,6 +220,7 @@ void printHuman(const char *SchemeName, const telemetry::store_stats &St) {
   Hist("snapshot_open_ns", St.snapshot_open_ns);
   Hist("trim_walk_len", St.trim_walk_len);
   Hist("txn_commit_ns", St.txn_commit_ns);
+  Hist("submit_batch_len", St.submit_batch_len);
 }
 
 template <typename Scheme>
